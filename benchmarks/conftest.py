@@ -1,0 +1,44 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+One session-scoped :class:`SuiteRunner` serves every bench so baseline
+simulations are shared across figures (exactly like one simulation
+campaign feeding all of the paper's plots).  Each bench writes its
+formatted table to ``benchmarks/results/`` so the regenerated figures
+survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.runner import SuiteRunner, experiment_config
+
+#: Evaluation scale for the benches (1.0 = this repo's full size).
+BENCH_SCALE = 1.0
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> SuiteRunner:
+    return SuiteRunner(experiment_config(num_sms=2), scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Sampling-DMR tradeoff curve (related work [15] vs Warped-DMR).
+
+The paper's related-work argument: sampling DMR trades coverage for
+overhead and misses transients between windows, while Warped-DMR keeps
+~full coverage at comparable cost by using idle resources instead of
+time slices.  This bench measures the curve.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import experiment_config
+from repro.baselines.sampling import sampling_factory
+from repro.common.config import DMRConfig, LaunchConfig
+from repro.sim.gpu import GPU
+from repro.workloads import get_workload
+
+from benchmarks.conftest import emit, once
+
+
+def test_ablation_sampling_tradeoff(benchmark, results_dir):
+    config = experiment_config(num_sms=2)
+    workload = get_workload("matrixmul")
+
+    def sweep():
+        base_run = workload.prepare(scale=1.0)
+        base = GPU(config, dmr=DMRConfig.disabled()).launch(
+            base_run.program, base_run.launch, memory=base_run.memory
+        )
+        rows = []
+        for label, sample in (("1/16", 64), ("1/4", 256), ("1/1", 1024)):
+            run = workload.prepare(scale=1.0)
+            result = GPU(config).launch(
+                run.program, run.launch, memory=run.memory,
+                controller_factory=sampling_factory(
+                    config, epoch_cycles=1024, sample_cycles=sample,
+                ),
+            )
+            rows.append([
+                f"sampling {label}",
+                f"{result.coverage.coverage_percent:.1f}%",
+                result.cycles / base.cycles,
+            ])
+        warped_run = workload.prepare(scale=1.0)
+        warped = GPU(config, dmr=DMRConfig.paper_default()).launch(
+            warped_run.program, warped_run.launch, memory=warped_run.memory
+        )
+        rows.append([
+            "warped-dmr",
+            f"{warped.coverage.coverage_percent:.1f}%",
+            warped.cycles / base.cycles,
+        ])
+        return rows
+
+    rows = once(benchmark, sweep)
+    text = format_table(
+        ["scheme", "coverage", "normalized cycles"], rows,
+        title="Ablation: sampling DMR vs Warped-DMR (MatrixMul)",
+    )
+    emit(results_dir, "ablation_sampling", text)
+
+    coverages = [float(row[1].rstrip("%")) for row in rows]
+    # coverage grows with the window; warped-dmr tops the curve
+    assert coverages[0] < coverages[1] <= coverages[2]
+    assert coverages[-1] >= coverages[2] - 1.0

@@ -1,0 +1,16 @@
+"""Regenerates Figure 1: execution-time breakdown by active threads."""
+
+from repro.analysis.active_threads import format_figure1, run_figure1
+
+from benchmarks.conftest import emit, once
+
+
+def test_fig01_active_threads(benchmark, runner, results_dir):
+    data = once(benchmark, lambda: run_figure1(runner))
+    emit(results_dir, "fig01_active_threads", format_figure1(data))
+
+    # Paper shape: BFS dominated by tiny active counts; the dense
+    # kernels pinned at 32.
+    assert data["bfs"]["1"] + data["bfs"]["2-11"] > 0.4
+    assert data["matrixmul"]["32"] > 0.9
+    assert data["libor"]["32"] > 0.9

@@ -1,0 +1,17 @@
+"""Regenerates Figure 5: instruction-type breakdown per workload."""
+
+from repro.analysis.inst_mix import format_figure5, run_figure5
+
+from benchmarks.conftest import emit, once
+
+
+def test_fig05_inst_mix(benchmark, runner, results_dir):
+    data = once(benchmark, lambda: run_figure5(runner))
+    emit(results_dir, "fig05_inst_mix", format_figure5(data))
+
+    # Paper shape: SP dominates everywhere; Libor has the big SFU
+    # share; nothing is single-typed.
+    assert data["libor"]["SFU"] > 0.1
+    for name, mix in data.items():
+        assert mix["SP"] > 0.3, name
+        assert sum(1 for frac in mix.values() if frac > 0.01) >= 2, name

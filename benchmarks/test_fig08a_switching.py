@@ -1,0 +1,24 @@
+"""Regenerates Figure 8(a): instruction-type switching distances."""
+
+import statistics
+
+from repro.analysis.switching import format_figure8a, run_figure8a
+
+from benchmarks.conftest import emit, once
+
+
+def test_fig08a_switching_distances(benchmark, runner, results_dir):
+    data = once(benchmark, lambda: run_figure8a(runner))
+    emit(results_dir, "fig08a_switching", format_figure8a(data))
+
+    # Paper shape: typical same-type runs are short (<= ~6 for most
+    # applications), with SHA among the long-run outliers.
+    means = [
+        stats["mean"]
+        for per_unit in data.values()
+        for stats in per_unit.values()
+        if stats["max"] > 0
+    ]
+    assert statistics.median(means) <= 10
+    assert data["sha"]["SP"]["mean"] >= \
+        statistics.median(d["SP"]["mean"] for d in data.values())

@@ -1,0 +1,16 @@
+"""Regenerates Figure 8(b): RAW dependency distances."""
+
+from repro.analysis.raw_distance import format_figure8b, run_figure8b
+
+from benchmarks.conftest import emit, once
+
+
+def test_fig08b_raw_distances(benchmark, runner, results_dir):
+    data = once(benchmark, lambda: run_figure8b(runner))
+    emit(results_dir, "fig08b_raw_distance", format_figure8b(data))
+
+    # Paper shape: distances of at least ~8 cycles, giving the ReplayQ
+    # slack before any consumer arrives.
+    for name, stats in data.items():
+        assert stats["min"] >= 4, name
+        assert stats["median"] >= 8, name

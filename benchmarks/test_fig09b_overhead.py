@@ -1,0 +1,23 @@
+"""Regenerates Figure 9(b): normalized kernel cycles vs ReplayQ size.
+
+Paper averages: 1.41 / 1.32 / 1.24 / 1.16 for 0 / 1 / 5 / 10 entries.
+"""
+
+from repro.analysis.overhead_sweep import format_figure9b, run_figure9b
+
+from benchmarks.conftest import emit, once
+
+
+def test_fig09b_overhead(benchmark, runner, results_dir):
+    data = once(benchmark, lambda: run_figure9b(runner))
+    emit(results_dir, "fig09b_overhead", format_figure9b(data))
+
+    avg = data["average"]
+    # Shape: overhead falls as the ReplayQ grows; 10 entries land at a
+    # modest average; MatrixMul is the worst case and gains the most.
+    assert avg[10] < avg[0]
+    assert avg[10] < 1.25
+    assert data["matrixmul"][0] > 1.5
+    assert data["matrixmul"][10] < data["matrixmul"][0] - 0.25
+    for name in ("bfs", "nqueen", "mum"):
+        assert data[name][10] < 1.1, name

@@ -1,0 +1,29 @@
+"""Regenerates Figure 10: end-to-end time of the five schemes."""
+
+import statistics
+
+from repro.analysis.approaches import (
+    format_figure10,
+    normalized_totals,
+    run_figure10,
+)
+from repro.baselines.schemes import SCHEME_ORDER
+
+from benchmarks.conftest import emit, once
+
+
+def test_fig10_scheme_comparison(benchmark, runner, results_dir):
+    data = once(benchmark, lambda: run_figure10(runner))
+    emit(results_dir, "fig10_approaches", format_figure10(data))
+
+    norm = normalized_totals(data)
+    means = {
+        scheme: statistics.mean(per[scheme] for per in norm.values())
+        for scheme in SCHEME_ORDER
+    }
+    # Paper ordering: R-Naive slowest; Warped-DMR the cheapest
+    # detection scheme, close to the original.
+    assert means["r-naive"] >= means["r-thread"]
+    assert means["r-naive"] > means["dmtr"] > means["warped-dmr"]
+    assert means["warped-dmr"] < 1.25
+    assert means["r-naive"] > 1.8

@@ -1,0 +1,19 @@
+"""Regenerates Figure 11: normalized power and energy consumption.
+
+Paper averages: power 1.11x, energy 1.31x.
+"""
+
+from repro.analysis.power_energy import format_figure11, run_figure11
+
+from benchmarks.conftest import emit, once
+
+
+def test_fig11_power_energy(benchmark, runner, results_dir):
+    data = once(benchmark, lambda: run_figure11(runner))
+    emit(results_dir, "fig11_power_energy", format_figure11(data))
+
+    avg = data["average"]
+    assert 1.0 < avg["power"] < 1.3
+    assert 1.0 < avg["energy"] < 1.5
+    # energy also pays the timing overhead, so it exceeds power overall
+    assert avg["energy"] >= avg["power"] * 0.98

@@ -1,0 +1,58 @@
+"""Regenerates Table 3 (simulation parameters) and Table 4 (workloads),
+plus the Section 4.3.1 ReplayQ sizing arithmetic."""
+
+from repro.analysis.report import format_table
+from repro.common.config import GPUConfig
+from repro.core.replayq import ReplayQGeometry
+from repro.workloads import all_workloads
+
+from benchmarks.conftest import emit, once
+
+
+def test_table3_simulation_parameters(benchmark, results_dir):
+    config = GPUConfig.paper_baseline()
+    rows = once(benchmark, lambda: [
+        ["Execution Model", "In-order"],
+        ["Execution Width", f"{config.simt_width} wide SIMT"],
+        ["Warp Size", config.warp_size],
+        ["# Threads/Core", config.max_threads_per_sm],
+        ["Register Size", f"{config.register_file_bytes // 1024} KB"],
+        ["# Register Banks", config.num_register_banks],
+        ["# Core(SP)s/Multiprocessor(SM)", config.warp_size],
+        ["# SMs", config.num_sms],
+        ["SIMT cluster size", config.cluster_size],
+    ])
+    text = format_table(["Parameter", "Value"], rows,
+                        title="Table 3: simulation parameters")
+    emit(results_dir, "table3_parameters", text)
+    assert config.num_sms == 30
+    assert config.max_warps_per_sm == 32
+
+
+def test_table4_workloads(benchmark, results_dir):
+    rows = once(benchmark, lambda: [
+        [w.category, w.display_name, w.paper_params]
+        for w in all_workloads().values()
+    ])
+    text = format_table(["Category", "Benchmark", "Paper parameters"],
+                        rows, title="Table 4: workloads")
+    emit(results_dir, "table4_workloads", text)
+    assert len(rows) == 11
+
+
+def test_sec431_replayq_geometry(benchmark, results_dir):
+    geometry = once(benchmark, ReplayQGeometry)
+    rows = [
+        ["source values (32 lanes x 3 ops x 4 B)", geometry.source_bytes],
+        ["original results (32 lanes x 4 B)", geometry.result_bytes_total],
+        ["entry bytes", f"{geometry.entry_bytes_min}-{geometry.entry_bytes_max}"],
+        ["10-entry ReplayQ bytes", geometry.total_bytes_max],
+        ["fraction of 128 KB register file",
+         f"{geometry.fraction_of_register_file():.1%}"],
+    ]
+    text = format_table(["Quantity", "Value"], rows,
+                        title="Section 4.3.1: ReplayQ sizing")
+    emit(results_dir, "sec431_replayq_geometry", text)
+    assert geometry.entry_bytes_min == 514
+    assert geometry.entry_bytes_max == 516
+    assert 5000 <= geometry.total_bytes_max <= 5200

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Divergence study: why Warped-DMR's opportunity exists (Figures 1/5).
+
+Runs a slice of the paper's workload suite on the simulator and prints
+the active-thread and instruction-type breakdowns, plus the coverage
+each divergence profile yields — the paper's motivation data,
+regenerated live.
+
+Run:  python examples/divergence_study.py  [scale]
+"""
+
+import sys
+
+from repro.analysis.active_threads import active_thread_breakdown, BINS
+from repro.analysis.inst_mix import unit_mix
+from repro.analysis.report import format_table
+from repro.analysis.runner import SuiteRunner, experiment_config
+from repro.common.config import DMRConfig
+
+WORKLOADS = ["bfs", "mum", "scan", "bitonic", "matrixmul", "sha", "libor"]
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    runner = SuiteRunner(experiment_config(num_sms=2), scale=scale)
+
+    rows = []
+    for name in WORKLOADS:
+        baseline = runner.baseline(name)
+        bins = active_thread_breakdown(baseline)
+        mix = unit_mix(baseline)
+        dmr = runner.run(name, DMRConfig.paper_default())
+        rows.append([
+            name,
+            *(f"{bins[label]*100:.0f}%" for label, _, _ in BINS),
+            f"{mix['SP']*100:.0f}/{mix['LDST']*100:.0f}/{mix['SFU']*100:.0f}",
+            f"{dmr.coverage.coverage_percent:.1f}%",
+            f"{dmr.cycles / baseline.cycles:.3f}",
+        ])
+
+    headers = (["workload"] + [label for label, _, _ in BINS]
+               + ["SP/LD/SFU", "coverage", "norm.cycles"])
+    print(format_table(
+        headers, rows,
+        title=(f"Divergence, instruction mix, and the resulting "
+               f"Warped-DMR coverage/overhead (scale={scale})"),
+    ))
+    print()
+    print("Reading guide: heavy low-active bins (BFS, MUM) -> intra-warp")
+    print("DMR covers nearly everything for free; heavy 32-active bins")
+    print("(MatrixMul, SHA, Libor) -> inter-warp DMR covers everything")
+    print("but pays ReplayQ stalls.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Fault localization: Warped-DMR's per-SP diagnosability (Section 3.4).
+
+The paper argues for checking at SP granularity: unlike SM- or
+chip-level DMR, per-lane comparisons identify *which* SP is defective,
+so the SM survives with core re-routing instead of being disabled
+wholesale.  This demo injects a stuck-at fault into a randomly chosen
+SP, runs a workload under Warped-DMR, and lets the evidence point back
+at the broken lane.
+
+Run:  python examples/fault_localization.py  [trials]
+"""
+
+import random
+import sys
+
+from repro import DMRConfig, GPU, GPUConfig
+from repro.core.diagnosis import FaultLocalizer
+from repro.faults import FaultInjector, StuckAtFault
+from repro.isa import UnitType
+from repro.workloads import get_workload
+
+
+def localize_one(faulty_lane: int) -> tuple:
+    workload = get_workload("scan")
+    run = workload.prepare(scale=0.5)
+    fault = StuckAtFault(sm_id=0, hw_lane=faulty_lane, unit=UnitType.SP,
+                         bit=2, stuck_to=1)
+    gpu = GPU(GPUConfig.small(num_sms=1), dmr=DMRConfig.paper_default(),
+              fault_hook=FaultInjector([fault]))
+    result = gpu.launch(run.program, run.launch, memory=run.memory)
+    localizer = FaultLocalizer()
+    localizer.add(result.detections)
+    diagnosis = localizer.diagnose_sm(0)
+    return diagnosis, len(result.detections)
+
+
+def main():
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    rng = random.Random(42)
+    correct = 0
+    for trial in range(trials):
+        faulty_lane = rng.randrange(32)
+        diagnosis, detections = localize_one(faulty_lane)
+        verdict = "?" if not diagnosis.localized else diagnosis.suspect_lane
+        hit = diagnosis.localized and diagnosis.suspect_lane == faulty_lane
+        correct += hit
+        print(f"trial {trial}: injected lane {faulty_lane:2d}  ->  "
+              f"diagnosis: {diagnosis}  "
+              f"{'HIT' if hit else 'miss'}")
+    print()
+    print(f"localized {correct}/{trials} injected faults to the exact SP")
+    print("An SM-level checker would have flagged the same runs but "
+          "condemned all 32 SPs; Warped-DMR names the broken one.")
+
+
+if __name__ == "__main__":
+    main()

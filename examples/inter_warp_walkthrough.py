@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Inter-warp DMR walkthrough: the paper's Figure 4 scenario, live.
+
+Builds a kernel whose inner loop interleaves shared-memory loads with
+adds — the exact pattern of Figure 4's three-warp trace — and runs it
+with an issue listener that narrates what the Replay Checker does each
+cycle: co-execution with a different-type instruction, ReplayQ
+enqueue/swap, or a full-queue stall.
+
+Run:  python examples/inter_warp_walkthrough.py
+"""
+
+from repro import DMRConfig, GPU, GPUConfig, GlobalMemory, LaunchConfig
+from repro.isa import CmpOp
+from repro.kernel import KernelBuilder
+
+TRACE_CYCLES = 40
+
+
+def build_interleaved_kernel():
+    """Figure 4's code shape: ld.shared / add.f32 interleaved."""
+    b = KernelBuilder("fig4_interleave")
+    tid, i, a0, a1, acc = b.regs(5)
+    p = b.pred()
+    b.tid(tid)
+    b.st_shared(tid, 1.0)
+    b.bar()
+    b.mov(acc, 0.0)
+    b.mov(i, 0)
+    b.label("loop")
+    b.ld_shared(a0, tid, offset=0)     # ld.shared  (LD/ST units)
+    b.fadd(acc, acc, a0)               # add.f32    (SPs)
+    b.ld_shared(a1, tid, offset=0)
+    b.fadd(acc, acc, a1)
+    b.iadd(i, i, 1)
+    b.setp(p, i, CmpOp.LT, 6)
+    b.bra("loop", pred=p)
+    b.st_global(tid, acc)
+    b.exit()
+    return b.build()
+
+
+def main():
+    program = build_interleaved_kernel()
+    print("Kernel (Figure 4's interleaved add/load shape):")
+    print(program.disassemble())
+    print()
+
+    narration = []
+
+    def listener(event):
+        if event.cycle <= TRACE_CYCLES:
+            narration.append(
+                f"cycle {event.cycle:3d}: warp{event.warp_id} issues "
+                f"{event.instruction.opcode.value:10s} "
+                f"[{event.unit.value:4s}] "
+                f"active {event.active_count}/32"
+            )
+
+    gpu = GPU(GPUConfig.small(num_sms=1), dmr=DMRConfig.paper_default())
+    result = gpu.launch(
+        program, LaunchConfig(grid_dim=1, block_dim=96),  # 3 warps
+        memory=GlobalMemory(), issue_listener=listener,
+    )
+
+    print(f"first {TRACE_CYCLES} cycles of the issue stream:")
+    for line in narration:
+        print(" ", line)
+    print()
+    stats = result.stats
+    print("Replay Checker activity over the whole kernel:")
+    print(f"  co-executed with next instruction : "
+          f"{stats.value('inter_warp_verify_coexec')}")
+    print(f"  co-executed from ReplayQ (swap)   : "
+          f"{stats.value('inter_warp_verify_coexec_from_queue')}")
+    print(f"  drained on idle units             : "
+          f"{stats.value('inter_warp_verify_drain_idle') + stats.value('inter_warp_verify_coexec_idle')}")
+    print(f"  eager re-executions (queue full)  : "
+          f"{stats.value('inter_warp_verify_eager')}")
+    print(f"  kernel-end flushes                : "
+          f"{stats.value('inter_warp_verify_flush')}")
+    print(f"  RAW-forced early verifications    : "
+          f"{stats.value('inter_warp_verify_raw_forced')}")
+    print()
+    print(f"all {stats.value('inter_warp_instructions')} fully-utilized "
+          f"instructions verified; coverage {result.coverage}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the workload registry with categories and paper parameters.
+``run WORKLOAD``
+    Simulate one workload (optionally under Warped-DMR) and print the
+    cycle count, coverage and verification statistics.
+``figure NAME``
+    Regenerate one of the paper's figures as a text table
+    (fig1, fig5, fig8a, fig8b, fig9a, fig9b, fig10, fig11).
+``inject WORKLOAD``
+    Inject a fault, report detection/corruption, and localize the lane.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import DMRConfig, MappingPolicy
+from repro.sim.gpu import GPU
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="problem-size scale in (0, 1] (default 0.5)")
+    parser.add_argument("--sms", type=int, default=2,
+                        help="number of SMs on the simulated chip")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_list(_args) -> int:
+    from repro.analysis.report import format_table
+    from repro.workloads import all_workloads
+    rows = [
+        [w.name, w.display_name, w.category, w.paper_params]
+        for w in all_workloads().values()
+    ]
+    print(format_table(
+        ["name", "paper name", "category", "paper parameters"], rows,
+        title="Workload registry (paper Table 4)",
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.analysis.runner import experiment_config
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    run = workload.prepare(scale=args.scale, seed=args.seed)
+    if args.no_dmr:
+        dmr = DMRConfig.disabled()
+    else:
+        dmr = DMRConfig(
+            replayq_entries=args.replayq,
+            mapping=(MappingPolicy.CROSS if args.mapping == "cross"
+                     else MappingPolicy.IN_ORDER),
+        )
+    gpu = GPU(experiment_config(num_sms=args.sms), dmr=dmr)
+    result = gpu.launch(run.program, run.launch, memory=run.memory)
+    try:
+        run.check(run.memory)
+        check = "PASS"
+    except AssertionError as error:
+        check = f"FAIL ({error})"
+    print(f"workload          : {workload.display_name}")
+    print(f"launch            : grid {run.launch.grid_dim} x "
+          f"block {run.launch.block_dim}")
+    print(f"kernel cycles     : {result.cycles}")
+    print(f"instructions      : {result.instructions_issued}")
+    print(f"output check      : {check}")
+    if dmr.enabled:
+        print(f"coverage          : {result.coverage}")
+        print(f"intra-warp insts  : "
+              f"{result.stats.value('intra_warp_instructions')}")
+        print(f"inter-warp insts  : "
+              f"{result.stats.value('inter_warp_instructions')}")
+        print(f"DMR stall cycles  : "
+              f"{result.stats.value('cycles_dmr_stall')}")
+    return 0 if check == "PASS" else 1
+
+
+def cmd_figure(args) -> int:
+    from repro.analysis import active_threads, approaches, coverage_sweep
+    from repro.analysis import inst_mix, overhead_sweep, power_energy
+    from repro.analysis import raw_distance, switching
+    from repro.analysis.runner import SuiteRunner, experiment_config
+
+    drivers = {
+        "fig1": (active_threads.run_figure1, active_threads.format_figure1),
+        "fig5": (inst_mix.run_figure5, inst_mix.format_figure5),
+        "fig8a": (switching.run_figure8a, switching.format_figure8a),
+        "fig8b": (raw_distance.run_figure8b, raw_distance.format_figure8b),
+        "fig9a": (coverage_sweep.run_figure9a, coverage_sweep.format_figure9a),
+        "fig9b": (overhead_sweep.run_figure9b, overhead_sweep.format_figure9b),
+        "fig10": (approaches.run_figure10, approaches.format_figure10),
+        "fig11": (power_energy.run_figure11, power_energy.format_figure11),
+    }
+    if args.name not in drivers:
+        print(f"unknown figure {args.name!r}; choose from "
+              f"{sorted(drivers)}", file=sys.stderr)
+        return 2
+    runner = SuiteRunner(
+        experiment_config(num_sms=args.sms), scale=args.scale,
+        seed=args.seed,
+    )
+    run_fn, format_fn = drivers[args.name]
+    print(format_fn(run_fn(runner)))
+    return 0
+
+
+def cmd_inject(args) -> int:
+    from repro.analysis.runner import experiment_config
+    from repro.core.diagnosis import FaultLocalizer
+    from repro.core.recovery import RecoveryPolicy
+    from repro.faults import FaultInjector, StuckAtFault, TransientFault
+    from repro.isa.opcodes import UnitType
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    run = workload.prepare(scale=args.scale, seed=args.seed)
+    if args.transient_cycle is not None:
+        fault = TransientFault(sm_id=0, hw_lane=args.lane,
+                               unit=UnitType.SP, bit=args.bit,
+                               cycle=args.transient_cycle)
+    else:
+        fault = StuckAtFault(sm_id=0, hw_lane=args.lane,
+                             unit=UnitType.SP, bit=args.bit, stuck_to=1)
+    gpu = GPU(experiment_config(num_sms=args.sms),
+              dmr=DMRConfig.paper_default(),
+              fault_hook=FaultInjector([fault]), max_cycles=500_000)
+    result = gpu.launch(run.program, run.launch, memory=run.memory)
+    try:
+        run.check(run.memory)
+        corrupt = False
+    except AssertionError:
+        corrupt = True
+    print(f"fault             : {fault}")
+    print(f"output corrupt    : {corrupt}")
+    print(f"detections        : {len(result.detections)}")
+    localizer = FaultLocalizer()
+    localizer.add(result.detections)
+    for diagnosis in localizer.diagnose_all():
+        print(f"localization      : {diagnosis}")
+    plan = RecoveryPolicy().plan(result.detections)
+    print(f"recovery plan     : {plan}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Warped-DMR (MICRO 2012) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the workload registry")
+
+    run_parser = sub.add_parser("run", help="simulate one workload")
+    run_parser.add_argument("workload")
+    _add_common(run_parser)
+    run_parser.add_argument("--no-dmr", action="store_true",
+                            help="baseline without error detection")
+    run_parser.add_argument("--replayq", type=int, default=10)
+    run_parser.add_argument("--mapping", choices=("cross", "inorder"),
+                            default="cross")
+
+    figure_parser = sub.add_parser("figure", help="regenerate a figure")
+    figure_parser.add_argument("name")
+    _add_common(figure_parser)
+
+    inject_parser = sub.add_parser("inject", help="fault-injection run")
+    inject_parser.add_argument("workload")
+    _add_common(inject_parser)
+    inject_parser.add_argument("--lane", type=int, default=5)
+    inject_parser.add_argument("--bit", type=int, default=2)
+    inject_parser.add_argument("--transient-cycle", type=int, default=None,
+                               help="inject a one-shot flip at this cycle "
+                                    "instead of a stuck-at fault")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "figure": cmd_figure,
+        "inject": cmd_inject,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Experiment drivers: one module per paper figure/table.
+
+========================== =====================================
+module                      regenerates
+========================== =====================================
+``active_threads``          Figure 1 (utilization breakdown)
+``inst_mix``                Figure 5 (instruction-type breakdown)
+``switching``               Figure 8(a) (same-type run lengths)
+``raw_distance``            Figure 8(b) (RAW dependency distances)
+``coverage_sweep``          Figure 9(a) (error coverage)
+``overhead_sweep``          Figure 9(b) (cycles vs ReplayQ size)
+``approaches``              Figure 10 (scheme comparison)
+``power_energy``            Figure 11 (normalized power/energy)
+========================== =====================================
+
+All drivers run on :func:`experiment_config`, a chip scaled down from
+the paper's 30 SMs so the pure-Python simulation stays tractable while
+preserving per-SM occupancy (the quantity every experiment actually
+depends on).
+"""
+
+from repro.analysis.runner import SuiteRunner, experiment_config
+from repro.analysis.report import format_table
+
+__all__ = ["SuiteRunner", "experiment_config", "format_table"]

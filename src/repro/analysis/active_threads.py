@@ -1,0 +1,65 @@
+"""Figure 1: execution-time breakdown by number of active threads.
+
+For every workload, the fraction of issued warp-instructions executed
+by 1, 2-11, 12-21, 22-31 and 32 active threads.  This is the paper's
+motivation figure: the under-32 mass is intra-warp DMR's opportunity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import SuiteRunner
+from repro.sim.gpu import KernelResult
+from repro.workloads import all_workloads
+
+#: Figure 1's legend bins, as (label, low, high) inclusive ranges.
+BINS: List[Tuple[str, int, int]] = [
+    ("1", 1, 1),
+    ("2-11", 2, 11),
+    ("12-21", 12, 21),
+    ("22-31", 22, 31),
+    ("32", 32, 32),
+]
+
+
+def active_thread_breakdown(result: KernelResult) -> Dict[str, float]:
+    """Per-bin fraction of issued instructions for one run.
+
+    Issues whose guard predicate masked off every lane (0 active
+    threads) execute nothing and are outside the figure's bins; they
+    are excluded from the denominator.
+    """
+    histogram = result.stats.histogram("active_threads")
+    counts = histogram.as_dict()
+    total = sum(n for count, n in counts.items() if count >= 1)
+    out = {label: 0.0 for label, _, _ in BINS}
+    if total == 0:
+        return out
+    for count, occurrences in counts.items():
+        for label, low, high in BINS:
+            if low <= count <= high:
+                out[label] += occurrences / total
+                break
+    return out
+
+
+def run_figure1(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
+    """Figure 1 data: workload -> bin -> fraction (baseline runs)."""
+    return {
+        name: active_thread_breakdown(runner.baseline(name))
+        for name in all_workloads()
+    }
+
+
+def format_figure1(data: Dict[str, Dict[str, float]]) -> str:
+    headers = ["workload"] + [label for label, _, _ in BINS]
+    rows = [
+        [name] + [f"{data[name][label]*100:.1f}%" for label, _, _ in BINS]
+        for name in data
+    ]
+    return format_table(
+        headers, rows,
+        title="Figure 1: issued-instruction breakdown by active threads",
+    )

@@ -1,0 +1,83 @@
+"""Figure 10: end-to-end execution time of the five schemes.
+
+Kernel time plus host<->device transfer time for Original, R-Naive,
+R-Thread, DMTR and Warped-DMR on each workload.  The paper's ordering:
+R-Naive slowest (two launches, doubled transfers), R-Thread second
+(hidden only with idle SMs, doubled copy-back), then DMTR, with
+Warped-DMR closest to the original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import SuiteRunner
+from repro.baselines.schemes import SCHEME_ORDER, SchemeResult, compare_schemes
+from repro.workloads import all_workloads, get_workload
+
+
+def run_figure10(runner: SuiteRunner) -> Dict[str, Dict[str, SchemeResult]]:
+    """workload -> scheme -> SchemeResult."""
+    data: Dict[str, Dict[str, SchemeResult]] = {}
+    for name in all_workloads():
+        data[name] = compare_schemes(
+            get_workload(name), runner.config,
+            scale=runner.scale, seed=runner.seed,
+        )
+    return data
+
+
+def normalized_totals(
+    data: Dict[str, Dict[str, SchemeResult]],
+) -> Dict[str, Dict[str, float]]:
+    """workload -> scheme -> total time normalized to 'original'."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, per_scheme in data.items():
+        base = per_scheme["original"].total_time_s
+        out[name] = {
+            scheme: result.total_time_s / base
+            for scheme, result in per_scheme.items()
+        }
+    return out
+
+
+def normalized_kernel(
+    data: Dict[str, Dict[str, SchemeResult]],
+) -> Dict[str, Dict[str, float]]:
+    """workload -> scheme -> kernel cycles normalized to 'original'."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, per_scheme in data.items():
+        base = per_scheme["original"].kernel_cycles
+        out[name] = {
+            scheme: result.kernel_cycles / base
+            for scheme, result in per_scheme.items()
+        }
+    return out
+
+
+def format_figure10(data: Dict[str, Dict[str, SchemeResult]]) -> str:
+    norm = normalized_totals(data)
+    kern = normalized_kernel(data)
+    headers = ["workload"] + SCHEME_ORDER
+    total_rows = [
+        [name] + [norm[name][scheme] for scheme in SCHEME_ORDER]
+        for name in data
+    ]
+    kernel_rows = [
+        [name] + [kern[name][scheme] for scheme in SCHEME_ORDER]
+        for name in data
+    ]
+    return "\n\n".join([
+        format_table(
+            headers, total_rows,
+            title=("Figure 10: end-to-end time (kernel + transfer), "
+                   "normalized to the original execution"),
+        ),
+        format_table(
+            headers, kernel_rows,
+            title=("Figure 10 (kernel-only view): normalized kernel "
+                   "cycles — at this repo's reduced problem sizes the "
+                   "transfer term compresses the total-time ratios"),
+        ),
+    ])

@@ -1,0 +1,49 @@
+"""Figure 5: execution-time breakdown by instruction type (SP/SFU/LDST).
+
+The heterogeneous-underutilization motivation: whenever the mix is not
+100% one type, issuing one type leaves the other units idle for
+inter-warp DMR to exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import SuiteRunner
+from repro.isa.opcodes import UnitType
+from repro.sim.gpu import KernelResult
+from repro.workloads import all_workloads
+
+
+def unit_mix(result: KernelResult) -> Dict[str, float]:
+    """Fraction of issued instructions per execution-unit type."""
+    histogram = result.stats.histogram("unit_type")
+    total = histogram.total
+    if total == 0:
+        return {unit.value: 0.0 for unit in UnitType}
+    return {
+        unit.value: histogram.count(unit.value) / total
+        for unit in UnitType
+    }
+
+
+def run_figure5(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
+    """Figure 5 data: workload -> unit -> fraction (baseline runs)."""
+    return {
+        name: unit_mix(runner.baseline(name))
+        for name in all_workloads()
+    }
+
+
+def format_figure5(data: Dict[str, Dict[str, float]]) -> str:
+    units = [unit.value for unit in UnitType]
+    headers = ["workload"] + units
+    rows = [
+        [name] + [f"{data[name][unit]*100:.1f}%" for unit in units]
+        for name in data
+    ]
+    return format_table(
+        headers, rows,
+        title="Figure 5: issued-instruction breakdown by unit type",
+    )

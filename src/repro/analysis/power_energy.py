@@ -1,0 +1,45 @@
+"""Figure 11: normalized power and energy of Warped-DMR.
+
+Hong&Kim-style analytical power of each workload with Warped-DMR
+(ReplayQ = 10) divided by the zero-error-detection baseline, plus
+energy (power x time).  Paper averages: power 1.11x, energy 1.31x, with
+the worst case (Laplace) around 1.6x energy due to timing overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import SuiteRunner
+from repro.common.config import DMRConfig
+from repro.power.model import PowerModel
+from repro.workloads import all_workloads
+
+
+def run_figure11(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
+    """workload -> {'power': ratio, 'energy': ratio} (plus 'average')."""
+    model = PowerModel(runner.config)
+    data: Dict[str, Dict[str, float]] = {}
+    for name in all_workloads():
+        baseline = model.report(runner.baseline(name))
+        dmr = model.report(runner.run(name, DMRConfig.paper_default()))
+        data[name] = dmr.normalized_to(baseline)
+    data["average"] = {
+        key: sum(per[key] for per in data.values()) / len(data)
+        for key in ("power", "energy")
+    }
+    return data
+
+
+def format_figure11(data: Dict[str, Dict[str, float]]) -> str:
+    headers = ["workload", "power", "energy"]
+    rows = [
+        [name, data[name]["power"], data[name]["energy"]]
+        for name in data
+    ]
+    return format_table(
+        headers, rows,
+        title=("Figure 11: normalized power/energy "
+               "(paper averages: 1.11x / 1.31x)"),
+    )

@@ -1,0 +1,80 @@
+"""Shared experiment runner with per-configuration result caching."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.config import DMRConfig, GPUConfig
+from repro.sim.gpu import GPU, KernelResult
+from repro.workloads import all_workloads, get_workload
+
+
+def experiment_config(num_sms: int = 2, **overrides) -> GPUConfig:
+    """The standard experiment chip.
+
+    The paper simulates 30 SMs with evaluation-sized inputs; this
+    reproduction scales both chip and inputs down together so each SM
+    still holds several thread blocks (8-16 warps).  Every measured
+    quantity — active-thread histograms, instruction-type streams,
+    ReplayQ pressure, coverage — is a per-SM property, so shrinking the
+    chip with held occupancy preserves the experiments while keeping a
+    pure-Python cycle-level simulation tractable.
+    """
+    from dataclasses import replace
+
+    return replace(GPUConfig.paper_baseline(), num_sms=num_sms, **overrides)
+
+
+class SuiteRunner:
+    """Runs workloads under varying DMR configurations, caching results.
+
+    Experiments share baseline runs heavily (every figure normalizes to
+    the no-DMR run); the cache keys on workload name plus the DMR
+    configuration so each (workload, config) pair simulates once.
+    """
+
+    def __init__(self, config: Optional[GPUConfig] = None,
+                 scale: float = 1.0, seed: int = 0,
+                 check_outputs: bool = True) -> None:
+        self.config = config or experiment_config()
+        self.scale = scale
+        self.seed = seed
+        self.check_outputs = check_outputs
+        self._cache: Dict[Tuple, KernelResult] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, name: str, dmr: DMRConfig, config: GPUConfig) -> Tuple:
+        return (
+            name, config.cluster_size, config.num_sms,
+            dmr.enabled, dmr.replayq_entries, dmr.mapping,
+            dmr.lane_shuffle, dmr.eager_reexecution,
+        )
+
+    def run(self, name: str, dmr: Optional[DMRConfig] = None,
+            config: Optional[GPUConfig] = None) -> KernelResult:
+        """Run (or fetch the cached run of) one workload."""
+        dmr = dmr or DMRConfig.disabled()
+        config = config or self.config
+        key = self._key(name, dmr, config)
+        if key in self._cache:
+            return self._cache[key]
+        workload = get_workload(name)
+        run = workload.prepare(self.scale, self.seed)
+        gpu = GPU(config, dmr=dmr)
+        result = gpu.launch(run.program, run.launch, memory=run.memory)
+        if self.check_outputs:
+            run.check(run.memory)
+        self._cache[key] = result
+        return result
+
+    def baseline(self, name: str) -> KernelResult:
+        """The zero-error-detection run used for normalization."""
+        return self.run(name, DMRConfig.disabled())
+
+    def run_suite(self, dmr: Optional[DMRConfig] = None,
+                  config: Optional[GPUConfig] = None) -> Dict[str, KernelResult]:
+        """All 11 workloads under one configuration, in paper order."""
+        return {
+            name: self.run(name, dmr, config)
+            for name in all_workloads()
+        }

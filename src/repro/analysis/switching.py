@@ -1,0 +1,58 @@
+"""Figure 8(a): instruction-type switching distances.
+
+The mean (and max) number of consecutive same-unit-type issues before
+the stream switches types, per workload and unit.  The paper uses this
+to size the ReplayQ: typical runs are under ~6, worst cases around 20,
+so 10 entries suffice for most applications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import SuiteRunner
+from repro.isa.opcodes import UnitType
+from repro.sim.gpu import KernelResult
+from repro.workloads import all_workloads
+
+
+def switching_distances(result: KernelResult) -> Dict[str, Dict[str, float]]:
+    """unit -> {mean, max} same-type run length for one run."""
+    out: Dict[str, Dict[str, float]] = {}
+    for unit in UnitType:
+        histogram = result.stats.histogram(f"unit_run_{unit.value}")
+        if histogram.total == 0:
+            out[unit.value] = {"mean": 0.0, "max": 0}
+            continue
+        out[unit.value] = {
+            "mean": histogram.mean_key(),
+            "max": max(histogram.as_dict()),
+        }
+    return out
+
+
+def run_figure8a(runner: SuiteRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 8(a) data: workload -> unit -> {mean, max} run length."""
+    return {
+        name: switching_distances(runner.baseline(name))
+        for name in all_workloads()
+    }
+
+
+def format_figure8a(data) -> str:
+    units = [unit.value for unit in UnitType]
+    headers = ["workload"] + [
+        f"{unit} {stat}" for unit in units for stat in ("mean", "max")
+    ]
+    rows = []
+    for name, per_unit in data.items():
+        row = [name]
+        for unit in units:
+            row.append(f"{per_unit[unit]['mean']:.1f}")
+            row.append(str(int(per_unit[unit]['max'])))
+        rows.append(row)
+    return format_table(
+        headers, rows,
+        title="Figure 8(a): same-unit-type issue run lengths",
+    )

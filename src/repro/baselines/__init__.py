@@ -1,0 +1,38 @@
+"""Error-detection baselines the paper compares against (Section 5.3).
+
+* **R-Naive** — invoke the kernel twice, double all host<->device
+  transfers, compare outputs on the host.
+* **R-Thread** — duplicate every thread block within one launch;
+  redundant blocks hide behind idle SMs when there are any, and the
+  output transfer doubles.
+* **DMTR** — dual-modular temporal redundancy: every instruction is
+  re-executed on the following cycle (1-cycle-slack SRT), halving issue
+  bandwidth.
+* **Warped-DMR** — the paper's scheme (from :mod:`repro.core`).
+
+Each scheme produces a :class:`SchemeResult` with kernel and transfer
+time so Figure 10's stacked bars can be regenerated.
+"""
+
+from repro.baselines.transfer import TransferModel
+from repro.baselines.dmtr import DMTRController
+from repro.baselines.sampling import SamplingDMRController, sampling_factory
+from repro.baselines.schemes import (
+    SCHEME_ORDER,
+    Scheme,
+    SchemeResult,
+    compare_schemes,
+    make_scheme,
+)
+
+__all__ = [
+    "DMTRController",
+    "SCHEME_ORDER",
+    "SamplingDMRController",
+    "Scheme",
+    "SchemeResult",
+    "TransferModel",
+    "compare_schemes",
+    "make_scheme",
+    "sampling_factory",
+]

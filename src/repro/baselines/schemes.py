@@ -1,0 +1,197 @@
+"""The five end-to-end schemes of Figure 10.
+
+Every scheme actually *simulates* its kernel work (no fudge factors):
+R-Naive launches twice, R-Thread dispatches each block twice within one
+launch, DMTR attaches its replay-every-instruction controller, and
+Warped-DMR attaches the real thing.  Transfer volumes follow Section
+5.3: R-Naive doubles both directions, R-Thread doubles only the output
+copy-back (redundant blocks are compared on the host), the GPU-side
+schemes move data once.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines.dmtr import DMTRController
+from repro.baselines.transfer import TransferModel
+from repro.common.config import DMRConfig, GPUConfig
+from repro.sim.gpu import GPU, KernelResult
+from repro.workloads.base import Workload
+
+#: Figure 10 bar order.
+SCHEME_ORDER = ["original", "r-naive", "r-thread", "dmtr", "warped-dmr"]
+
+
+@dataclass
+class SchemeResult:
+    """One scheme's end-to-end time decomposition for one workload."""
+
+    scheme: str
+    workload: str
+    kernel_cycles: int
+    kernel_time_s: float
+    transfer_time_s: float
+    detections: int = 0
+
+    @property
+    def total_time_s(self) -> float:
+        return self.kernel_time_s + self.transfer_time_s
+
+
+class Scheme(abc.ABC):
+    """An error-detection scheme with an end-to-end cost model."""
+
+    name: str = ""
+    input_copies: int = 1
+    output_copies: int = 1
+
+    def __init__(self, config: GPUConfig,
+                 transfer: Optional[TransferModel] = None) -> None:
+        self.config = config
+        self.transfer = transfer or TransferModel()
+
+    @abc.abstractmethod
+    def kernel_cycles(self, workload: Workload, scale: float,
+                      seed: int) -> KernelResult:
+        """Simulate the scheme's kernel work and return the result."""
+
+    def run(self, workload: Workload, scale: float = 1.0,
+            seed: int = 0) -> SchemeResult:
+        result = self.kernel_cycles(workload, scale, seed)
+        spec = workload.prepare(scale, seed).transfer
+        return SchemeResult(
+            scheme=self.name,
+            workload=workload.name,
+            kernel_cycles=result.cycles,
+            kernel_time_s=result.kernel_time_s,
+            transfer_time_s=self.transfer.time_s(
+                spec, self.input_copies, self.output_copies
+            ),
+            detections=len(result.detections),
+        )
+
+
+class OriginalScheme(Scheme):
+    """No error detection: the normalization baseline."""
+
+    name = "original"
+
+    def kernel_cycles(self, workload, scale, seed):
+        run = workload.prepare(scale, seed)
+        gpu = GPU(self.config, dmr=DMRConfig.disabled())
+        return gpu.launch(run.program, run.launch, memory=run.memory)
+
+
+class RNaiveScheme(Scheme):
+    """Kernel invoked twice; both transfers duplicated."""
+
+    name = "r-naive"
+    input_copies = 2
+    output_copies = 2
+
+    def kernel_cycles(self, workload, scale, seed):
+        run1 = workload.prepare(scale, seed)
+        gpu = GPU(self.config, dmr=DMRConfig.disabled())
+        first = gpu.launch(run1.program, run1.launch, memory=run1.memory)
+        run2 = workload.prepare(scale, seed)
+        second = gpu.launch(run2.program, run2.launch, memory=run2.memory)
+        merged = first
+        merged.cycles = first.cycles + second.cycles
+        return merged
+
+
+class RThreadScheme(Scheme):
+    """Every block dispatched twice inside one launch.
+
+    The redundant copy of block *i* carries the same block id, so it
+    recomputes (and re-stores) identical values — timing-faithful and
+    functionally harmless.  With idle SMs the copies hide; on a full
+    machine the kernel takes ~2x.  Output copy-back doubles (host-side
+    comparison).
+    """
+
+    name = "r-thread"
+    output_copies = 2
+
+    def kernel_cycles(self, workload, scale, seed):
+        run = workload.prepare(scale, seed)
+        gpu = GPU(self.config, dmr=DMRConfig.disabled())
+        duplicated: List[int] = []
+        for block_id in range(run.launch.grid_dim):
+            duplicated.append(block_id)
+        duplicated.extend(range(run.launch.grid_dim))
+        return gpu.launch(
+            run.program, run.launch, memory=run.memory,
+            block_ids=duplicated,
+        )
+
+
+class DMTRScheme(Scheme):
+    """Replay every instruction one cycle later (1-cycle-slack SRT)."""
+
+    name = "dmtr"
+
+    def kernel_cycles(self, workload, scale, seed):
+        run = workload.prepare(scale, seed)
+        gpu = GPU(self.config, dmr=DMRConfig.disabled())
+        return gpu.launch(
+            run.program, run.launch, memory=run.memory,
+            controller_factory=lambda stats: DMTRController(stats),
+        )
+
+
+class WarpedDMRScheme(Scheme):
+    """The paper's scheme with its default configuration."""
+
+    name = "warped-dmr"
+
+    def __init__(self, config: GPUConfig,
+                 transfer: Optional[TransferModel] = None,
+                 dmr: Optional[DMRConfig] = None) -> None:
+        super().__init__(config, transfer)
+        self.dmr = dmr or DMRConfig.paper_default()
+
+    def kernel_cycles(self, workload, scale, seed):
+        run = workload.prepare(scale, seed)
+        gpu = GPU(self.config, dmr=self.dmr)
+        return gpu.launch(run.program, run.launch, memory=run.memory)
+
+
+_SCHEMES = {
+    "original": OriginalScheme,
+    "r-naive": RNaiveScheme,
+    "r-thread": RThreadScheme,
+    "dmtr": DMTRScheme,
+    "warped-dmr": WarpedDMRScheme,
+}
+
+
+def make_scheme(name: str, config: GPUConfig,
+                transfer: Optional[TransferModel] = None) -> Scheme:
+    try:
+        cls = _SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {SCHEME_ORDER}"
+        ) from None
+    return cls(config, transfer)
+
+
+def compare_schemes(
+    workload: Workload,
+    config: GPUConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+    schemes: Optional[List[str]] = None,
+    transfer: Optional[TransferModel] = None,
+) -> Dict[str, SchemeResult]:
+    """Run all (or the named) schemes on one workload (Figure 10 row)."""
+    out: Dict[str, SchemeResult] = {}
+    for name in schemes or SCHEME_ORDER:
+        out[name] = make_scheme(name, config, transfer).run(
+            workload, scale, seed
+        )
+    return out

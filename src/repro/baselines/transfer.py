@@ -1,0 +1,33 @@
+"""Host<->device transfer-time model.
+
+The paper measured CPU<->GPU copy times with the CUDA timer API; with
+no GPU here, a PCIe bandwidth/latency model stands in (see DESIGN.md's
+substitution table).  Figure 10 only depends on the *relative* volumes
+each scheme moves, which this model preserves exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import TransferConfig
+from repro.workloads.base import TransferSpec
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Computes one kernel invocation's transfer time."""
+
+    config: TransferConfig = TransferConfig()
+
+    def time_s(self, spec: TransferSpec,
+               input_copies: int = 1, output_copies: int = 1) -> float:
+        """Seconds for *input_copies* H2D and *output_copies* D2H moves."""
+        if input_copies < 0 or output_copies < 0:
+            raise ValueError("transfer copy counts must be >= 0")
+        total = 0.0
+        for _ in range(input_copies):
+            total += self.config.transfer_time_s(spec.input_bytes)
+        for _ in range(output_copies):
+            total += self.config.transfer_time_s(spec.output_bytes)
+        return total

@@ -1,0 +1,46 @@
+"""Shared low-level utilities used across the Warped-DMR reproduction.
+
+This package deliberately holds only dependency-free building blocks:
+bit-level active-mask helpers (:mod:`repro.common.bitops`), configuration
+dataclasses (:mod:`repro.common.config`), the exception hierarchy
+(:mod:`repro.common.errors`) and counter/statistics primitives
+(:mod:`repro.common.stats`).
+"""
+
+from repro.common.bitops import (
+    ActiveMask,
+    count_active,
+    first_active_lane,
+    full_mask,
+    iter_active_lanes,
+    iter_inactive_lanes,
+    mask_from_lanes,
+)
+from repro.common.config import DMRConfig, GPUConfig, MappingPolicy
+from repro.common.errors import (
+    ConfigError,
+    KernelError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.stats import Counter, Histogram, StatSet
+
+__all__ = [
+    "ActiveMask",
+    "ConfigError",
+    "Counter",
+    "DMRConfig",
+    "GPUConfig",
+    "Histogram",
+    "KernelError",
+    "MappingPolicy",
+    "ReproError",
+    "SimulationError",
+    "StatSet",
+    "count_active",
+    "first_active_lane",
+    "full_mask",
+    "iter_active_lanes",
+    "iter_inactive_lanes",
+    "mask_from_lanes",
+]

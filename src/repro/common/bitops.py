@@ -1,0 +1,101 @@
+"""Active-mask bit utilities.
+
+A warp's *active mask* is an integer whose bit ``i`` is set when SIMT
+lane ``i`` executes the current instruction (paper Section 2.2).  The
+whole code base passes masks around as plain ``int`` for speed; this
+module centralizes every bit-twiddling idiom so the rest of the code
+reads declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+#: Type alias used in signatures for readability.  A mask for a warp of
+#: width ``w`` uses the low ``w`` bits.
+ActiveMask = int
+
+
+def full_mask(width: int) -> ActiveMask:
+    """Return the mask with all ``width`` lanes active.
+
+    >>> bin(full_mask(4))
+    '0b1111'
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def mask_from_lanes(lanes: Iterable[int]) -> ActiveMask:
+    """Build a mask with exactly the given lane indices active.
+
+    >>> bin(mask_from_lanes([0, 3]))
+    '0b1001'
+    """
+    mask = 0
+    for lane in lanes:
+        if lane < 0:
+            raise ValueError(f"lane index must be non-negative, got {lane}")
+        mask |= 1 << lane
+    return mask
+
+
+def count_active(mask: ActiveMask) -> int:
+    """Number of active lanes in *mask*.
+
+    >>> count_active(0b1011)
+    3
+    """
+    return mask.bit_count()
+
+
+def is_lane_active(mask: ActiveMask, lane: int) -> bool:
+    """Whether bit *lane* is set in *mask*."""
+    return bool((mask >> lane) & 1)
+
+
+def first_active_lane(mask: ActiveMask) -> int:
+    """Index of the lowest active lane, or ``-1`` for an empty mask.
+
+    >>> first_active_lane(0b0100)
+    2
+    >>> first_active_lane(0)
+    -1
+    """
+    if mask == 0:
+        return -1
+    return (mask & -mask).bit_length() - 1
+
+
+def iter_active_lanes(mask: ActiveMask, width: int) -> Iterator[int]:
+    """Yield indices of active lanes in ascending order, below *width*."""
+    for lane in range(width):
+        if (mask >> lane) & 1:
+            yield lane
+
+
+def iter_inactive_lanes(mask: ActiveMask, width: int) -> Iterator[int]:
+    """Yield indices of inactive lanes in ascending order, below *width*."""
+    for lane in range(width):
+        if not (mask >> lane) & 1:
+            yield lane
+
+
+def lane_slice(mask: ActiveMask, start: int, width: int) -> ActiveMask:
+    """Extract the *width*-bit sub-mask starting at lane *start*.
+
+    Used to view one SIMT cluster's share of a warp-wide mask:
+
+    >>> bin(lane_slice(0b11110011, start=4, width=4))
+    '0b1111'
+    """
+    return (mask >> start) & full_mask(width)
+
+
+def popcount_below(mask: ActiveMask, lane: int) -> int:
+    """Number of active lanes strictly below *lane*.
+
+    Handy for computing an active lane's rank within its warp.
+    """
+    return (mask & ((1 << lane) - 1)).bit_count()

@@ -1,0 +1,255 @@
+"""Configuration dataclasses for the simulated GPU and Warped-DMR.
+
+:class:`GPUConfig` mirrors the paper's Table 3 simulation parameters;
+:class:`DMRConfig` collects every knob the evaluation sweeps (SIMT
+cluster size, thread-to-core mapping, ReplayQ capacity, lane shuffling).
+Both are frozen dataclasses: a configuration is a value, never mutated
+mid-simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Dict
+
+from repro.common.errors import ConfigError
+
+
+class MappingPolicy(enum.Enum):
+    """Thread-to-core mapping policy (paper Section 4.2).
+
+    ``IN_ORDER``
+        The believed-default mapping: thread ``i`` of a warp runs on SIMT
+        lane ``i``, so consecutive threads share a SIMT cluster.
+    ``CROSS``
+        The paper's enhanced mapping: threads are dealt to SIMT clusters
+        round-robin (thread 0 → cluster 0, thread 1 → cluster 1, ...),
+        spreading consecutive active threads across clusters and raising
+        intra-warp DMR opportunity.
+    """
+
+    IN_ORDER = "in_order"
+    CROSS = "cross"
+
+
+class SchedulerPolicy(enum.Enum):
+    """Warp scheduler policy for the single per-SM scheduler."""
+
+    ROUND_ROBIN = "rr"
+    GREEDY_THEN_OLDEST = "gto"
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Static parameters of the simulated GPU (paper Table 3 + Section 2).
+
+    The defaults model the paper's baseline: a Fermi-style chip with 30
+    SMs, 32-wide SIMT, warps of 32 threads, 32 register banks per SM and
+    4-lane SIMT clusters.
+    """
+
+    num_sms: int = 30
+    warp_size: int = 32
+    simt_width: int = 32
+    max_threads_per_sm: int = 1024
+    num_register_banks: int = 32
+    register_file_bytes: int = 64 * 1024
+    shared_memory_bytes: int = 64 * 1024
+    cluster_size: int = 4
+
+    # Pipeline latencies (paper Figure 7): FETCH 1, DEC/SCHED 1-2, RF 3,
+    # EXE >= 3 super-pipelined cycles.
+    fetch_latency: int = 1
+    decode_latency: int = 1
+    rf_latency: int = 3
+    sp_latency: int = 4
+    sfu_latency: int = 8
+    ldst_shared_latency: int = 4
+    ldst_global_latency: int = 40
+
+    clock_period_ns: float = 1.25  # 800 MHz, 40 nm (paper Section 4.1)
+    scheduler: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN
+
+    # Schedulers per SM (paper Section 2.2): the baseline evaluates 1;
+    # Fermi-class SMs have 2, each owning its SP group but sharing the
+    # LD/ST units and SFUs — so two instructions co-issue per cycle
+    # unless both need the same shared unit.  Warps are assigned to
+    # schedulers by warp-id parity, as on real hardware.
+    num_schedulers: int = 1
+
+    # Charge issue cycles for register-bank conflicts (Section 2.1).
+    # Off by default: the paper's baseline assumes operand buffering
+    # hides the multi-cycle fetch; enabling this gives the pessimistic
+    # bound (one cycle per serialized bank access).
+    model_bank_conflicts: bool = False
+
+    # Cycles between successive warps' first issue.  Real SMs never have
+    # their warps aligned (fetch/decode contention and memory-latency
+    # jitter stagger them); without this, a lock-step round-robin
+    # scheduler runs every warp through the same program phase
+    # simultaneously, producing same-unit-type issue runs hundreds long
+    # where hardware measures <= 20 (paper Figure 8(a)).  The default
+    # spreads adjacent warps about one loop body apart.
+    warp_start_stagger: int = 37
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0:
+            raise ConfigError(f"warp_size must be positive, got {self.warp_size}")
+        if self.simt_width != self.warp_size:
+            raise ConfigError(
+                "this model issues a whole warp per cycle; simt_width "
+                f"({self.simt_width}) must equal warp_size ({self.warp_size})"
+            )
+        if self.cluster_size <= 0 or self.warp_size % self.cluster_size:
+            raise ConfigError(
+                f"cluster_size {self.cluster_size} must evenly divide "
+                f"warp_size {self.warp_size}"
+            )
+        if self.num_sms <= 0:
+            raise ConfigError(f"num_sms must be positive, got {self.num_sms}")
+        if self.max_threads_per_sm % self.warp_size:
+            raise ConfigError(
+                f"max_threads_per_sm ({self.max_threads_per_sm}) must be a "
+                f"multiple of warp_size ({self.warp_size})"
+            )
+        for name in ("fetch_latency", "decode_latency", "rf_latency",
+                     "sp_latency", "sfu_latency", "ldst_shared_latency",
+                     "ldst_global_latency"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.warp_start_stagger < 0:
+            raise ConfigError("warp_start_stagger must be >= 0")
+        if self.num_schedulers not in (1, 2):
+            raise ConfigError(
+                f"num_schedulers must be 1 or 2, got {self.num_schedulers}"
+            )
+
+    @property
+    def clusters_per_warp(self) -> int:
+        """Number of SIMT clusters spanned by one warp (paper: 8)."""
+        return self.warp_size // self.cluster_size
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Maximum resident warps per SM (paper: 1024/32 = 32)."""
+        return self.max_threads_per_sm // self.warp_size
+
+    @classmethod
+    def paper_baseline(cls) -> "GPUConfig":
+        """The exact Table 3 configuration."""
+        return cls()
+
+    @classmethod
+    def small(cls, num_sms: int = 2) -> "GPUConfig":
+        """A reduced configuration for fast unit tests."""
+        return cls(num_sms=num_sms)
+
+    def with_cluster_size(self, cluster_size: int) -> "GPUConfig":
+        """Return a copy with a different SIMT cluster size (Fig 9a sweep)."""
+        return replace(self, cluster_size=cluster_size)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dict form, convenient for experiment logs."""
+        out: Dict[str, Any] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            out[name] = value.value if isinstance(value, enum.Enum) else value
+        return out
+
+
+@dataclass(frozen=True)
+class DMRConfig:
+    """Warped-DMR configuration knobs (paper Sections 3-4).
+
+    ``enabled``
+        Master switch; disabled gives the zero-error-detection baseline.
+    ``replayq_entries``
+        ReplayQ capacity (Fig 9(b) sweeps 0, 1, 5, 10).
+    ``mapping``
+        Thread-to-core mapping policy (Fig 9(a) "cross mapping").
+    ``lane_shuffle``
+        Whether inter-warp replays run on a shuffled lane within the SIMT
+        cluster (Section 3.2); disabling it reintroduces hidden errors.
+    ``eager_reexecution``
+        On a full ReplayQ, re-execute one cycle later using operands still
+        in the pipeline (paper behaviour, 1 stall cycle).  When disabled,
+        the pipeline instead stalls until a ReplayQ slot frees (ablation).
+    """
+
+    enabled: bool = True
+    replayq_entries: int = 10
+    mapping: MappingPolicy = MappingPolicy.CROSS
+    lane_shuffle: bool = True
+    eager_reexecution: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replayq_entries < 0:
+            raise ConfigError(
+                f"replayq_entries must be >= 0, got {self.replayq_entries}"
+            )
+
+    @classmethod
+    def disabled(cls) -> "DMRConfig":
+        """Baseline with no error detection."""
+        return cls(enabled=False)
+
+    @classmethod
+    def paper_default(cls) -> "DMRConfig":
+        """The configuration behind the headline 96.43% / 16% numbers."""
+        return cls()
+
+    def with_replayq(self, entries: int) -> "DMRConfig":
+        return replace(self, replayq_entries=entries)
+
+    def with_mapping(self, mapping: MappingPolicy) -> "DMRConfig":
+        return replace(self, mapping=mapping)
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Kernel launch geometry (CUDA gridDim/blockDim flattened to 1-D).
+
+    The paper's Table 4 gives 2-D launch parameters for some workloads;
+    the simulator flattens them since only the thread count and block
+    partitioning affect warp formation.
+    """
+
+    grid_dim: int
+    block_dim: int
+
+    def __post_init__(self) -> None:
+        if self.grid_dim <= 0 or self.block_dim <= 0:
+            raise ConfigError(
+                f"grid_dim and block_dim must be positive, got "
+                f"{self.grid_dim}x{self.block_dim}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_dim * self.block_dim
+
+    def warps_per_block(self, warp_size: int) -> int:
+        """Number of warps a block occupies (last may be partial)."""
+        return -(-self.block_dim // warp_size)
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """Host<->device transfer model parameters (Fig 10 substitution).
+
+    Models PCIe 2.0 x16: ~6.2 GB/s effective bandwidth and a fixed
+    per-transfer latency, enough to preserve Fig 10's relative transfer
+    costs.
+    """
+
+    bandwidth_bytes_per_s: float = 6.2e9
+    latency_s: float = 10e-6
+
+    def transfer_time_s(self, num_bytes: int) -> float:
+        """Seconds to move *num_bytes* across the link once."""
+        if num_bytes < 0:
+            raise ConfigError(f"num_bytes must be >= 0, got {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Warped-DMR reproduction.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class KernelError(ReproError):
+    """A kernel program is malformed (bad label, operand, or CFG)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state at run time."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault specification does not match the simulated hardware."""
+
+
+class DMRViolation(ReproError):
+    """An internal Warped-DMR invariant was broken (e.g. a verifier lane
+    paired with an active lane outside its SIMT cluster)."""

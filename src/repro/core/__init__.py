@@ -1,0 +1,57 @@
+"""Warped-DMR: the paper's contribution.
+
+* :mod:`repro.core.mapping` — thread-to-core mapping policies (Sec 4.2).
+* :mod:`repro.core.rfu` — Register Forwarding Unit priority MUXes
+  (Table 1) that pair idle SIMT lanes with active ones.
+* :mod:`repro.core.comparator` — result comparison and detection events.
+* :mod:`repro.core.intra_warp` — intra-warp DMR engine (Sec 3.1).
+* :mod:`repro.core.replayq` — ReplayQ structure and geometry (Sec 4.3).
+* :mod:`repro.core.inter_warp` — Replay Checker / Algorithm 1 (Sec 3.2).
+* :mod:`repro.core.coverage` — coverage accounting and theory (Sec 3.3).
+* :mod:`repro.core.dmr_controller` — facade wiring it all into the SM.
+"""
+
+from repro.core.comparator import DetectionEvent, ResultComparator
+from repro.core.diagnosis import Diagnosis, FaultLocalizer
+from repro.core.coverage import (
+    CoverageReport,
+    theoretical_intra_warp_coverage,
+)
+from repro.core.dmr_controller import DMRController
+from repro.core.inter_warp import ReplayChecker
+from repro.core.recovery import (
+    RecoveryAction,
+    RecoveryPlan,
+    RecoveryPolicy,
+    recover_by_reexecution,
+)
+from repro.core.intra_warp import IntraWarpDMR
+from repro.core.mapping import lane_permutation
+from repro.core.replayq import ReplayQ, ReplayQGeometry
+from repro.core.rfu import (
+    PRIORITY_TABLE,
+    RegisterForwardingUnit,
+    priority_sequence,
+)
+
+__all__ = [
+    "CoverageReport",
+    "DMRController",
+    "DetectionEvent",
+    "Diagnosis",
+    "FaultLocalizer",
+    "IntraWarpDMR",
+    "PRIORITY_TABLE",
+    "RecoveryAction",
+    "RecoveryPlan",
+    "RecoveryPolicy",
+    "RegisterForwardingUnit",
+    "ReplayChecker",
+    "ReplayQ",
+    "ReplayQGeometry",
+    "ResultComparator",
+    "recover_by_reexecution",
+    "lane_permutation",
+    "priority_sequence",
+    "theoretical_intra_warp_coverage",
+]

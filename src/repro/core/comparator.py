@@ -1,0 +1,96 @@
+"""Result comparison and error-detection events.
+
+The hardware comparator (paper Figure 6, 622 um^2) compares the
+original lane's result against the verifier lane's redundant result.
+Redundant executions recompute through the same pure ALU from the same
+captured inputs, so any mismatch is — by construction — an injected (or
+real) execution-unit error, never modeling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One detected execution error."""
+
+    cycle: int
+    sm_id: int
+    warp_id: int
+    pc: int
+    opcode: Opcode
+    original_lane: int
+    verifier_lane: int
+    original_value: object
+    verify_value: object
+    mode: str  # "intra" or "inter"
+
+    def __str__(self) -> str:
+        return (
+            f"[cycle {self.cycle}] SM{self.sm_id} warp{self.warp_id} "
+            f"pc={self.pc} {self.opcode.value}: lane {self.original_lane} "
+            f"produced {self.original_value!r}, verifier lane "
+            f"{self.verifier_lane} produced {self.verify_value!r} "
+            f"({self.mode}-warp DMR)"
+        )
+
+
+class ResultComparator:
+    """Collects mismatches between original and redundant executions."""
+
+    def __init__(self) -> None:
+        self.detections: List[DetectionEvent] = []
+
+    def compare(
+        self,
+        cycle: int,
+        sm_id: int,
+        warp_id: int,
+        pc: int,
+        opcode: Opcode,
+        original_lane: int,
+        verifier_lane: int,
+        original_value: object,
+        verify_value: object,
+        mode: str,
+    ) -> Optional[DetectionEvent]:
+        """Compare two results; record and return an event on mismatch."""
+        if _values_equal(original_value, verify_value):
+            return None
+        event = DetectionEvent(
+            cycle=cycle,
+            sm_id=sm_id,
+            warp_id=warp_id,
+            pc=pc,
+            opcode=opcode,
+            original_lane=original_lane,
+            verifier_lane=verifier_lane,
+            original_value=original_value,
+            verify_value=verify_value,
+            mode=mode,
+        )
+        self.detections.append(event)
+        return event
+
+    @property
+    def detection_count(self) -> int:
+        return len(self.detections)
+
+
+def _values_equal(a: object, b: object) -> bool:
+    """Bit-exact comparison as the hardware comparator would perform.
+
+    Redundant executions are deterministic re-runs of the same pure
+    function on the same inputs, so exact equality is the right test;
+    NaNs compare equal to themselves (same bit pattern).
+    """
+    if isinstance(a, float) and isinstance(b, float):
+        if a != a and b != b:  # both NaN
+            return True
+        return a == b
+    return a == b

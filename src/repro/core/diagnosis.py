@@ -1,0 +1,126 @@
+"""Faulty-SP localization from detection events (paper Section 3.4).
+
+The paper's argument for checking at SP granularity: an SM- or
+chip-level checker can only say *something* failed, forcing the whole
+SM (or chip) to be disabled, while Warped-DMR's per-lane comparisons
+let the scheduler identify *which* SP is defective and re-route around
+it (the core re-routing of [23]).
+
+Each detection event implicates exactly two lanes — the original and
+the verifier (one of them computed the wrong value).  A permanent
+fault's lane appears in *every* mismatch it causes, paired with varying
+partners, so simple evidence counting separates it quickly:
+
+* per-lane score = number of detections implicating the lane;
+* the faulty lane's score grows linearly with detections, any innocent
+  partner's only when paired with the faulty lane — at most a shared
+  count for one fixed partner under a degenerate pairing, which lane
+  shuffling's varying partners and the RFU's priority rotation prevent.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.comparator import DetectionEvent
+from repro.isa.opcodes import UnitType
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Localization verdict for one SM."""
+
+    sm_id: int
+    suspect_lane: Optional[int]
+    confidence: float          # score margin over the runner-up, in [0,1]
+    evidence: int              # number of detections considered
+    per_lane_score: Dict[int, int]
+    suspect_unit: Optional[UnitType] = None
+
+    @property
+    def localized(self) -> bool:
+        """Whether the evidence singles out one lane."""
+        return self.suspect_lane is not None and self.confidence > 0.0
+
+    def __str__(self) -> str:
+        if not self.localized:
+            return (f"SM{self.sm_id}: no unique suspect "
+                    f"({self.evidence} detections)")
+        unit = f" [{self.suspect_unit.value}]" if self.suspect_unit else ""
+        return (
+            f"SM{self.sm_id}: suspect SP lane {self.suspect_lane}{unit} "
+            f"(confidence {self.confidence:.0%}, "
+            f"{self.evidence} detections)"
+        )
+
+
+class FaultLocalizer:
+    """Accumulates detection events and points at the defective SP."""
+
+    def __init__(self) -> None:
+        self._by_sm: Dict[int, List[DetectionEvent]] = {}
+
+    def add(self, detections: Iterable[DetectionEvent]) -> None:
+        for event in detections:
+            self._by_sm.setdefault(event.sm_id, []).append(event)
+
+    def diagnose_sm(self, sm_id: int) -> Diagnosis:
+        events = self._by_sm.get(sm_id, [])
+        scores: TallyCounter = TallyCounter()
+        unit_votes: Dict[int, TallyCounter] = {}
+        for event in events:
+            for lane in (event.original_lane, event.verifier_lane):
+                scores[lane] += 1
+                unit_votes.setdefault(lane, TallyCounter())[
+                    event.opcode
+                ] += 1
+        if not scores:
+            return Diagnosis(
+                sm_id=sm_id, suspect_lane=None, confidence=0.0,
+                evidence=0, per_lane_score={},
+            )
+        ranked = scores.most_common()
+        top_lane, top_score = ranked[0]
+        runner_up = ranked[1][1] if len(ranked) > 1 else 0
+        if top_score == runner_up:
+            # tie: a single mismatch implicates both partners equally
+            return Diagnosis(
+                sm_id=sm_id, suspect_lane=None, confidence=0.0,
+                evidence=len(events), per_lane_score=dict(scores),
+            )
+        confidence = (top_score - runner_up) / top_score
+        suspect_unit = self._dominant_unit(events, top_lane)
+        return Diagnosis(
+            sm_id=sm_id,
+            suspect_lane=top_lane,
+            confidence=confidence,
+            evidence=len(events),
+            per_lane_score=dict(scores),
+            suspect_unit=suspect_unit,
+        )
+
+    @staticmethod
+    def _dominant_unit(events: List[DetectionEvent],
+                       lane: int) -> Optional[UnitType]:
+        tally: TallyCounter = TallyCounter()
+        for event in events:
+            if lane in (event.original_lane, event.verifier_lane):
+                tally[event.opcode.value] += 1
+        if not tally:
+            return None
+        from repro.isa.opcodes import Opcode, op_info
+        opcode_name, _ = tally.most_common(1)[0]
+        return op_info(Opcode(opcode_name)).unit
+
+    def diagnose_all(self) -> List[Diagnosis]:
+        return [self.diagnose_sm(sm_id) for sm_id in sorted(self._by_sm)]
+
+    def suspects(self) -> List[Tuple[int, int]]:
+        """(sm_id, lane) pairs the evidence localizes."""
+        return [
+            (diagnosis.sm_id, diagnosis.suspect_lane)
+            for diagnosis in self.diagnose_all()
+            if diagnosis.localized
+        ]

@@ -1,0 +1,99 @@
+"""DMR controller: the per-SM facade gluing Warped-DMR into the pipeline.
+
+The SM calls four hooks (see :mod:`repro.sim.sm`):
+
+* ``check_raw(warp_id, inst)`` before issue — the RAW-on-unverified rule;
+* ``on_issue(event, executor)`` after issue — dispatches to intra-warp
+  DMR (partially utilized) or the Replay Checker (fully utilized) and
+  returns stall cycles to charge;
+* ``on_idle(cycle)`` on no-issue cycles — free verification slots;
+* ``on_kernel_end(cycle)`` — ReplayQ flush.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DMRConfig, GPUConfig
+from repro.common.stats import StatSet
+from repro.core.comparator import ResultComparator
+from repro.core.coverage import CoverageReport, is_coverable
+from repro.core.inter_warp import ReplayChecker
+from repro.core.intra_warp import IntraWarpDMR
+from repro.isa.instruction import Instruction
+from repro.sim.events import IssueEvent
+from repro.sim.executor import Executor
+
+
+class DMRController:
+    """One Warped-DMR instance (one per SM, like the ReplayQ)."""
+
+    def __init__(
+        self,
+        gpu_config: GPUConfig,
+        dmr_config: DMRConfig,
+        stats: StatSet,
+        functional_verify: bool = False,
+    ) -> None:
+        self.gpu_config = gpu_config
+        self.config = dmr_config
+        self.stats = stats
+        self.comparator = ResultComparator()
+        self.intra = IntraWarpDMR(
+            cluster_size=gpu_config.cluster_size,
+            stats=stats,
+            comparator=self.comparator,
+            functional_verify=functional_verify,
+        )
+        self.checker = ReplayChecker(
+            cluster_size=gpu_config.cluster_size,
+            dmr_config=dmr_config,
+            stats=stats,
+            comparator=self.comparator,
+            functional_verify=functional_verify,
+        )
+
+    # -- SM hooks ----------------------------------------------------------
+    def check_raw(self, warp_id: int, inst: Instruction) -> int:
+        if not self.config.enabled:
+            return 0
+        return self.checker.check_raw(warp_id, inst)
+
+    def on_issue(self, event: IssueEvent, executor: Executor) -> int:
+        if not self.config.enabled:
+            return 0
+        eligible = is_coverable(event.instruction.opcode) and event.active_count > 0
+        if eligible:
+            self.stats.bump("coverage_eligible_lanes", event.active_count)
+
+        if event.is_full:
+            stall = self.checker.accept(event, executor)
+            if eligible:
+                # Every fully utilized instruction is verified on one of
+                # Algorithm 1's paths (co-execute, buffered replay,
+                # eager re-execution, or the kernel-end flush).
+                self.stats.bump("coverage_verified_lanes", event.active_count)
+                self.stats.bump("coverage_inter_lanes", event.active_count)
+            return stall
+
+        stall = self.checker.observe_other_issue(event, executor)
+        if eligible:
+            verified = self.intra.process(event, executor)
+            self.stats.bump("coverage_verified_lanes", verified)
+            self.stats.bump("coverage_intra_lanes", verified)
+        return stall
+
+    def on_idle(self, cycle: int) -> None:
+        if self.config.enabled:
+            self.checker.on_idle(cycle)
+
+    def on_kernel_end(self, cycle: int) -> int:
+        if not self.config.enabled:
+            return 0
+        return self.checker.flush(cycle)
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def detections(self) -> list:
+        return self.comparator.detections
+
+    def coverage_report(self) -> CoverageReport:
+        return CoverageReport.from_stats(self.stats)

@@ -1,0 +1,244 @@
+"""Inter-warp DMR: the Replay Checker and Algorithm 1 (paper Section 4.3).
+
+Pipeline framing: when a fully utilized instruction sits in the first
+RF stage, the instruction one cycle behind it is in DEC/SCHED.  In this
+issue-stream model the checker therefore holds each fully utilized
+issue in a one-deep *pending latch* and resolves it when the next issue
+(or an idle cycle) arrives:
+
+* next issue uses a **different** unit type → co-execute the DMR copy on
+  the pending instruction's now-idle unit: verified for free.
+* same type → look in the ReplayQ for any buffered entry of a different
+  type; if found, that entry co-executes with the new issue and the
+  pending instruction takes its ReplayQ slot.
+* otherwise, if the ReplayQ has room → enqueue (verify later).
+* otherwise (full) → insert one stall cycle and eagerly re-execute with
+  the operands still in the pipeline (paper's 1-cycle penalty).
+
+Idle issue cycles drain the latch and then the queue, one entry per
+cycle.  A consumer of an unverified buffered result stalls the pipeline
+until its producer is verified (RAW rule).  Lane shuffling places every
+redundant execution on a different SP of the same SIMT cluster so
+stuck-at faults cannot hide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.bitops import iter_active_lanes
+from repro.common.config import DMRConfig
+from repro.common.stats import StatSet
+from repro.core.comparator import ResultComparator
+from repro.core.mapping import shuffled_lane
+from repro.core.replayq import ReplayQ, ReplayQEntry
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import UnitType
+from repro.sim.events import IssueEvent
+from repro.sim.executor import Executor
+
+
+class ReplayChecker:
+    """Temporal redundancy engine for fully utilized warps."""
+
+    def __init__(
+        self,
+        cluster_size: int,
+        dmr_config: DMRConfig,
+        stats: StatSet,
+        comparator: ResultComparator,
+        functional_verify: bool = False,
+    ) -> None:
+        self.cluster_size = cluster_size
+        self.config = dmr_config
+        self.stats = stats
+        self.comparator = comparator
+        self.functional_verify = functional_verify
+        self.replayq = ReplayQ(dmr_config.replayq_entries)
+        self._pending: Optional[IssueEvent] = None
+        # (warp_id, reg) -> producing entry still unverified in the queue
+        self._unverified: Dict[Tuple[int, int], ReplayQEntry] = {}
+        self._executor: Optional[Executor] = None
+
+    # ------------------------------------------------------------------
+    # Hooks called by the DMR controller
+    # ------------------------------------------------------------------
+    def accept(self, event: IssueEvent, executor: Optional[Executor]) -> int:
+        """A fully utilized instruction issued: latch it for DMR.
+
+        Returns stall cycles charged while resolving the *previous*
+        pending instruction (the latch is one deep).
+        """
+        self._executor = executor
+        stall, used_units = self._resolve_pending(next_event=event)
+        self._drain_idle_units(event.cycle, used_units | {event.unit})
+        self._pending = event
+        self.stats.bump("inter_warp_instructions")
+        return stall
+
+    def observe_other_issue(self, event: IssueEvent,
+                            executor: Optional[Executor]) -> int:
+        """A non-fully-utilized instruction issued (intra-warp handles
+        it); it still resolves the pending latch as the DEC/SCHED
+        instruction of Algorithm 1."""
+        self._executor = executor
+        stall, used_units = self._resolve_pending(next_event=event)
+        self._drain_idle_units(event.cycle, used_units | {event.unit})
+        return stall
+
+    def on_idle(self, cycle: int) -> None:
+        """No issue this cycle: every unit is idle — verify for free."""
+        used: set = set()
+        if self._pending is not None:
+            self._verify(self._pending, cycle, "coexec_idle")
+            used.add(self._pending.unit)
+            self._pending = None
+        self._drain_idle_units(cycle, used)
+
+    def _drain_idle_units(self, cycle: int, used_units: set) -> None:
+        """One verification per execution-unit type left idle this cycle.
+
+        The issued instruction occupies its own unit; each of the other
+        unit types can host the replay of one buffered entry of that
+        type ("re-executed whenever the corresponding execution unit
+        becomes available", Section 3.2).
+        """
+        for unit in UnitType:
+            if unit in used_units:
+                continue
+            entry = self.replayq.dequeue_of_type(unit)
+            if entry is None:
+                continue
+            self._forget_unverified(entry)
+            self._verify(entry.event, cycle, "drain_idle")
+            self.stats.bump("replayq_idle_drains")
+
+    def check_raw(self, warp_id: int, inst: Instruction) -> int:
+        """RAW-on-unverified rule: verify buffered producers first.
+
+        Returns the stall cycles to charge (one per producer verified).
+        """
+        stalls = 0
+        for reg in inst.source_registers():
+            entry = self._unverified.get((warp_id, reg))
+            if entry is None:
+                continue
+            if self.replayq.remove(entry):
+                self._forget_unverified(entry)
+                self._verify(entry.event, entry.event.cycle, "raw_forced")
+                stalls += 1
+        return stalls
+
+    def flush(self, cycle: int) -> int:
+        """Kernel end: verify the latch and every buffered entry.
+
+        Returns the cycles consumed (one per verification).
+        """
+        cycles = 0
+        if self._pending is not None:
+            self._verify(self._pending, cycle, "flush")
+            self._pending = None
+            cycles += 1
+        for entry in self.replayq.drain():
+            self._forget_unverified(entry)
+            self._verify(entry.event, cycle + cycles, "flush")
+            cycles += 1
+        self._unverified.clear()
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def _resolve_pending(self, next_event: IssueEvent) -> tuple:
+        """Algorithm 1.  Returns ``(stall_cycles, units_used)`` where
+        *units_used* are the execution-unit types consumed by this
+        cycle's verifications (unavailable for further draining)."""
+        pending = self._pending
+        if pending is None:
+            return 0, set()
+        self._pending = None
+
+        if pending.unit is not next_event.unit:
+            # Different type in DEC/SCHED: co-execute the DMR copy.
+            self._verify(pending, next_event.cycle, "coexec")
+            self.stats.bump("inter_warp_coexec")
+            return 0, {pending.unit}
+
+        entry = self.replayq.dequeue_different_type(pending.unit)
+        if entry is not None:
+            # Swap: the buffered different-type entry rides along with
+            # the new issue; the pending instruction takes its slot.
+            self._forget_unverified(entry)
+            self._verify(entry.event, next_event.cycle, "coexec_from_queue")
+            self._enqueue(pending, next_event.cycle)
+            self.stats.bump("replayq_swaps")
+            return 0, {entry.unit}
+
+        if self.replayq.is_full:
+            # Eager re-execution: one stall cycle, operands still in
+            # the pipeline (paper).  The non-eager ablation re-reads the
+            # register file, costing a second cycle.
+            self._verify(pending, next_event.cycle, "eager")
+            self.stats.bump("replayq_full_stalls")
+            return (1 if self.config.eager_reexecution else 2), set()
+
+        self._enqueue(pending, next_event.cycle)
+        return 0, set()
+
+    def _enqueue(self, event: IssueEvent, cycle: int) -> None:
+        entry = self.replayq.enqueue(event, cycle)
+        if event.dest_reg is not None:
+            self._unverified[(event.warp_id, event.dest_reg)] = entry
+        self.stats.bump("replayq_enqueues")
+
+    def _forget_unverified(self, entry: ReplayQEntry) -> None:
+        if entry.dest_reg is None:
+            return
+        key = (entry.warp_id, entry.dest_reg)
+        if self._unverified.get(key) is entry:
+            del self._unverified[key]
+
+    # ------------------------------------------------------------------
+    # Verification proper
+    # ------------------------------------------------------------------
+    def _verify(self, event: IssueEvent, cycle: int, how: str) -> None:
+        """Redundantly execute *event* on (shuffled) lanes and compare."""
+        self.stats.bump("inter_warp_verified_instructions")
+        self.stats.bump("inter_warp_verified_lanes", event.active_count)
+        self.stats.bump(f"inter_warp_verify_{how}")
+        self.stats.bump(f"verify_unit_{event.unit.value}")
+        if not (self.functional_verify and self._executor is not None):
+            return
+        for lane in iter_active_lanes(event.hw_mask, event.warp_width):
+            if lane not in event.lane_inputs:
+                # no datapath computation on this lane (EXIT/JMP/BAR
+                # style bookkeeping issues have nothing to re-execute)
+                continue
+            verifier = (
+                shuffled_lane(lane, self.cluster_size)
+                if self.config.lane_shuffle else lane
+            )
+            verify_value = self._executor.reexecute_lane(
+                event, lane, verifier, cycle
+            )
+            self.comparator.compare(
+                cycle=cycle,
+                sm_id=event.sm_id,
+                warp_id=event.warp_id,
+                pc=event.pc,
+                opcode=event.instruction.opcode,
+                original_lane=lane,
+                verifier_lane=verifier,
+                original_value=event.lane_results[lane],
+                verify_value=verify_value,
+                mode="inter",
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> Optional[IssueEvent]:
+        return self._pending
+
+    @property
+    def queue_occupancy(self) -> int:
+        return len(self.replayq)

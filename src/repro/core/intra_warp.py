@@ -1,0 +1,87 @@
+"""Intra-warp DMR (paper Section 3.1).
+
+When a warp is partially utilized, the RFU pairs each idle SIMT lane
+with an active lane of its own cluster; the idle lane re-executes the
+active lane's computation in the *same cycle* and the comparator checks
+the two results — verification is free.
+
+Active lanes nobody pairs with (more actives than idles in a cluster)
+stay unverified this cycle: that is exactly the paper's coverage gap
+for highly utilized warps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.bitops import iter_active_lanes
+from repro.common.stats import StatSet
+from repro.core.comparator import ResultComparator
+from repro.core.rfu import RegisterForwardingUnit
+from repro.sim.events import IssueEvent
+from repro.sim.executor import Executor
+
+
+class IntraWarpDMR:
+    """Spatial redundancy engine for partially utilized warps."""
+
+    def __init__(
+        self,
+        cluster_size: int,
+        stats: StatSet,
+        comparator: ResultComparator,
+        functional_verify: bool = False,
+    ) -> None:
+        self.rfu = RegisterForwardingUnit(cluster_size)
+        self.stats = stats
+        self.comparator = comparator
+        self.functional_verify = functional_verify
+
+    def process(self, event: IssueEvent,
+                executor: Optional[Executor]) -> int:
+        """Verify *event* using idle lanes; returns verified lane count.
+
+        Zero-cost: no stall cycles are ever charged.
+        """
+        pairs = self.rfu.pair_warp(event.hw_mask, event.warp_width)
+        verified_lanes = set(pairs.values())
+
+        self.stats.bump("intra_warp_instructions")
+        self.stats.bump("intra_warp_verified_lanes", len(verified_lanes))
+        self.stats.bump("intra_warp_redundant_executions", len(pairs))
+        self.stats.bump(
+            f"intra_redundant_lanes_{event.instruction.unit.value}",
+            len(pairs),
+        )
+
+        if self.functional_verify and executor is not None:
+            for verifier_lane, original_lane in pairs.items():
+                verify_value = executor.reexecute_lane(
+                    event, original_lane, verifier_lane, event.cycle
+                )
+                self.comparator.compare(
+                    cycle=event.cycle,
+                    sm_id=event.sm_id,
+                    warp_id=event.warp_id,
+                    pc=event.pc,
+                    opcode=event.instruction.opcode,
+                    original_lane=original_lane,
+                    verifier_lane=verifier_lane,
+                    original_value=event.lane_results[original_lane],
+                    verify_value=verify_value,
+                    mode="intra",
+                )
+        return len(verified_lanes)
+
+    def verified_mask(self, event: IssueEvent) -> int:
+        """Mask of active lanes that this cycle's pairing verifies."""
+        return self.rfu.verified_lanes(event.hw_mask, event.warp_width)
+
+    def unverified_lane_count(self, event: IssueEvent) -> int:
+        """Active lanes left unverified (coverage-gap accounting)."""
+        verified = self.verified_mask(event)
+        count = 0
+        for lane in iter_active_lanes(event.hw_mask, event.warp_width):
+            if not (verified >> lane) & 1:
+                count += 1
+        return count

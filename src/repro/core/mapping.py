@@ -1,0 +1,61 @@
+"""Thread-to-core mapping policies (paper Section 4.2).
+
+The RFU can only forward registers *within* a SIMT cluster, so an idle
+lane can only verify an active lane of its own cluster.  Because active
+threads after divergence tend to be *consecutive*, the believed-default
+in-order mapping packs them into the same clusters, starving other
+clusters of work to verify.  The paper's "cross mapping" deals threads
+to clusters round-robin instead, raising detection opportunity by ~9.6%.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import MappingPolicy
+from repro.common.errors import ConfigError
+
+
+def lane_permutation(policy: MappingPolicy, warp_size: int,
+                     cluster_size: int) -> List[int]:
+    """Hardware lane for each logical thread slot of a warp.
+
+    ``IN_ORDER``: thread *j* executes on lane *j*.
+
+    ``CROSS``: thread *j* goes to cluster ``j % n_clusters`` at position
+    ``j // n_clusters`` — consecutive threads land in distinct clusters.
+
+    >>> lane_permutation(MappingPolicy.CROSS, 8, 4)[:4]
+    [0, 4, 1, 5]
+    """
+    if warp_size % cluster_size:
+        raise ConfigError(
+            f"cluster_size {cluster_size} must divide warp_size {warp_size}"
+        )
+    if policy is MappingPolicy.IN_ORDER:
+        return list(range(warp_size))
+    if policy is MappingPolicy.CROSS:
+        n_clusters = warp_size // cluster_size
+        return [
+            (j % n_clusters) * cluster_size + (j // n_clusters)
+            for j in range(warp_size)
+        ]
+    raise ConfigError(f"unknown mapping policy {policy!r}")
+
+
+def cluster_of_lane(lane: int, cluster_size: int) -> int:
+    """Index of the SIMT cluster containing hardware lane *lane*."""
+    return lane // cluster_size
+
+
+def shuffled_lane(lane: int, cluster_size: int) -> int:
+    """Lane-shuffled verifier lane for inter-warp DMR (Section 3.2).
+
+    Rotates by one within the SIMT cluster, guaranteeing a *different*
+    physical SP in the same cluster (minimal wiring, no hidden errors).
+
+    >>> [shuffled_lane(l, 4) for l in range(4)]
+    [1, 2, 3, 0]
+    """
+    base = lane - lane % cluster_size
+    return base + (lane - base + 1) % cluster_size

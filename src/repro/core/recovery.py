@@ -1,0 +1,138 @@
+"""Error-handling policy on top of Warped-DMR detections.
+
+Error *handling* is out of the paper's scope, but Section 3.1 sketches
+it: "the scheduler can either re-schedule the warp (in case of
+transient errors) or stop running the program and raise an exception
+to the system (in case of a permanent fault)" — and Section 3.4 adds
+that per-SP detection enables core re-routing instead of disabling the
+SM.  This module implements that triage:
+
+* detections that do not re-implicate a single lane are treated as
+  transient → re-execute the kernel (the warp-level equivalent in this
+  launch-at-a-time model);
+* detections that localize to one lane (via
+  :class:`~repro.core.diagnosis.FaultLocalizer`) are treated as a
+  permanent defect → flag the lane for re-routing and keep the SM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.comparator import DetectionEvent
+from repro.core.diagnosis import FaultLocalizer
+
+
+class RecoveryAction(enum.Enum):
+    """What the scheduler should do about a batch of detections."""
+
+    NONE = "none"                      # no detections: keep going
+    RESCHEDULE = "reschedule"          # transient: re-execute
+    DISABLE_LANE = "disable_lane"      # permanent, localized: re-route
+    RAISE_EXCEPTION = "raise"          # permanent, not localized
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """The policy's verdict for one kernel run."""
+
+    action: RecoveryAction
+    detections: int
+    disabled_lanes: Tuple[Tuple[int, int], ...] = ()  # (sm_id, lane)
+    reason: str = ""
+
+    @property
+    def healthy(self) -> bool:
+        return self.action is RecoveryAction.NONE
+
+    def __str__(self) -> str:
+        if self.healthy:
+            return "no errors detected; continue"
+        lanes = ", ".join(f"SM{sm}/lane{lane}"
+                          for sm, lane in self.disabled_lanes)
+        suffix = f" ({lanes})" if lanes else ""
+        return f"{self.action.value}: {self.reason}{suffix}"
+
+
+class RecoveryPolicy:
+    """Classifies a run's detections into a recovery action.
+
+    ``permanent_threshold`` is the number of detections a single lane
+    must accumulate before the policy calls the fault permanent; a
+    transient strike perturbs exactly one computation, so it implicates
+    a lane at most twice (original + as somebody's verifier), while a
+    stuck-at lane keeps generating mismatches.
+    """
+
+    def __init__(self, permanent_threshold: int = 4) -> None:
+        if permanent_threshold < 2:
+            raise ValueError("permanent_threshold must be >= 2")
+        self.permanent_threshold = permanent_threshold
+
+    def plan(self, detections: Sequence[DetectionEvent]) -> RecoveryPlan:
+        """Produce the recovery plan for one finished run."""
+        if not detections:
+            return RecoveryPlan(action=RecoveryAction.NONE, detections=0)
+
+        localizer = FaultLocalizer()
+        localizer.add(detections)
+        permanent: List[Tuple[int, int]] = []
+        for diagnosis in localizer.diagnose_all():
+            if (diagnosis.localized
+                    and diagnosis.per_lane_score[diagnosis.suspect_lane]
+                    >= self.permanent_threshold):
+                permanent.append((diagnosis.sm_id, diagnosis.suspect_lane))
+
+        if permanent:
+            return RecoveryPlan(
+                action=RecoveryAction.DISABLE_LANE,
+                detections=len(detections),
+                disabled_lanes=tuple(permanent),
+                reason=(
+                    "repeated mismatches localize to specific SPs; "
+                    "re-route and continue on the remaining lanes"
+                ),
+            )
+        if len(detections) >= self.permanent_threshold:
+            # persistent but smeared evidence: fail safe
+            return RecoveryPlan(
+                action=RecoveryAction.RAISE_EXCEPTION,
+                detections=len(detections),
+                reason="persistent mismatches without a unique suspect",
+            )
+        return RecoveryPlan(
+            action=RecoveryAction.RESCHEDULE,
+            detections=len(detections),
+            reason="isolated mismatch consistent with a transient strike",
+        )
+
+
+def recover_by_reexecution(gpu_factory, make_run,
+                           policy: Optional[RecoveryPolicy] = None,
+                           max_attempts: int = 3):
+    """Detect-and-retry driver: run, and re-execute on RESCHEDULE.
+
+    ``gpu_factory()`` builds a fresh GPU (with whatever fault hook the
+    caller injects); ``make_run()`` builds a fresh workload instance.
+    Returns ``(final_result, final_run, plans)`` where *plans* holds one
+    :class:`RecoveryPlan` per attempt.  Raises ``RuntimeError`` when the
+    policy demands an exception or attempts run out.
+    """
+    policy = policy or RecoveryPolicy()
+    plans: List[RecoveryPlan] = []
+    for _ in range(max_attempts):
+        run = make_run()
+        gpu = gpu_factory()
+        result = gpu.launch(run.program, run.launch, memory=run.memory)
+        plan = policy.plan(result.detections)
+        plans.append(plan)
+        if plan.healthy:
+            return result, run, plans
+        if plan.action is RecoveryAction.RESCHEDULE:
+            continue
+        raise RuntimeError(str(plan))
+    raise RuntimeError(
+        f"recovery failed after {max_attempts} attempts: {plans[-1]}"
+    )

@@ -1,0 +1,34 @@
+"""Fault models and injection campaigns.
+
+The paper argues coverage analytically; this package lets the
+reproduction *measure* detection by injecting the fault classes the
+paper discusses — transient bit flips and permanent stuck-at defects in
+execution-unit lanes — and classifying each run's outcome (detected /
+silent data corruption / masked).
+"""
+
+from repro.faults.models import (
+    Fault,
+    StuckAtFault,
+    TransientFault,
+    flip_bit,
+    force_bit,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.campaign import (
+    CampaignResult,
+    FaultCampaign,
+    Outcome,
+)
+
+__all__ = [
+    "CampaignResult",
+    "Fault",
+    "FaultCampaign",
+    "FaultInjector",
+    "Outcome",
+    "StuckAtFault",
+    "TransientFault",
+    "flip_bit",
+    "force_bit",
+]

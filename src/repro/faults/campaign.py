@@ -1,0 +1,178 @@
+"""Fault-injection campaigns: measure detection instead of assuming it.
+
+A campaign runs one golden (fault-free) execution of a workload, then
+one run per fault, classifying each faulty run:
+
+* ``DETECTED`` — the DMR comparator flagged at least one mismatch;
+* ``SDC`` — silent data corruption: output differs from golden, no
+  detection (the outcome Warped-DMR exists to eliminate);
+* ``MASKED`` — the fault never propagated to the output (e.g. it hit a
+  lane executing a value that was later overwritten), no detection;
+* ``DETECTED_AND_CORRUPT`` — flagged *and* output corrupted (detection
+  turns this SDC into a DUE, the paper's stated goal).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.config import DMRConfig, GPUConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.models import Fault
+from repro.sim.gpu import GPU
+from repro.sim.memory import GlobalMemory
+
+
+class Outcome(enum.Enum):
+    DETECTED = "detected"            # flagged, output still golden
+    DETECTED_AND_CORRUPT = "due"     # flagged, output corrupted (DUE)
+    SDC = "sdc"                      # corrupted silently
+    MASKED = "masked"                # no effect, no flag
+    HUNG = "hung"                    # corrupted control flow livelocked
+    #                                  (caught by a watchdog in practice)
+
+
+@dataclass
+class FaultRun:
+    """One fault's classified outcome."""
+
+    fault: Fault
+    outcome: Outcome
+    detections: int
+    activations: int
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate over all injected faults."""
+
+    runs: List[FaultRun] = field(default_factory=list)
+
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for run in self.runs if run.outcome is outcome)
+
+    @property
+    def total(self) -> int:
+        return len(self.runs)
+
+    @property
+    def effective_runs(self) -> int:
+        """Runs where the fault actually perturbed a computation."""
+        return sum(1 for run in self.runs if run.activations > 0)
+
+    @property
+    def detection_rate(self) -> float:
+        """Detected fraction of *non-masked* faults (coverage measure).
+
+        HUNG runs are excluded: a livelocked kernel is caught by a
+        watchdog, not by the computation checker being measured here.
+        """
+        harmful = [
+            run for run in self.runs
+            if run.outcome not in (Outcome.MASKED, Outcome.HUNG)
+        ]
+        if not harmful:
+            return 1.0
+        detected = sum(
+            1 for run in harmful
+            if run.outcome in (Outcome.DETECTED, Outcome.DETECTED_AND_CORRUPT)
+        )
+        return detected / len(harmful)
+
+    @property
+    def sdc_rate(self) -> float:
+        if not self.runs:
+            return 0.0
+        return self.count(Outcome.SDC) / len(self.runs)
+
+    def summary(self) -> Dict[str, int]:
+        return {outcome.value: self.count(outcome) for outcome in Outcome}
+
+
+class FaultCampaign:
+    """Runs a workload repeatedly under injected faults."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        dmr: DMRConfig,
+        make_run: Callable[[], object],
+        output_of: Callable[[GlobalMemory], Sequence],
+        max_cycles: int = 500_000,
+    ) -> None:
+        """*make_run* builds a fresh ``WorkloadRun``-like object exposing
+        ``program``, ``launch`` and ``memory``; *output_of* extracts the
+        comparable output from a finished run's memory.  *max_cycles*
+        bounds faulty runs: an injected fault can corrupt a loop
+        predicate and livelock the kernel (classified ``HUNG``)."""
+        self.config = config
+        self.dmr = dmr
+        self.make_run = make_run
+        self.output_of = output_of
+        self.max_cycles = max_cycles
+
+    def golden_output(self) -> Sequence:
+        run = self.make_run()
+        gpu = GPU(self.config, dmr=DMRConfig.disabled())
+        gpu.launch(run.program, run.launch, memory=run.memory)
+        return self.output_of(run.memory)
+
+    def run_fault(self, fault: Fault,
+                  golden: Optional[Sequence] = None) -> FaultRun:
+        from repro.common.errors import SimulationError
+
+        if golden is None:
+            golden = self.golden_output()
+        run = self.make_run()
+        injector = FaultInjector([fault])
+        gpu = GPU(self.config, dmr=self.dmr, fault_hook=injector,
+                  max_cycles=self.max_cycles)
+        try:
+            result = gpu.launch(run.program, run.launch, memory=run.memory)
+        except SimulationError:
+            return FaultRun(
+                fault=fault,
+                outcome=Outcome.HUNG,
+                detections=0,
+                activations=injector.activations,
+            )
+        output = self.output_of(run.memory)
+        corrupt = not _outputs_equal(output, golden)
+        detected = len(result.detections) > 0
+        if detected and corrupt:
+            outcome = Outcome.DETECTED_AND_CORRUPT
+        elif detected:
+            outcome = Outcome.DETECTED
+        elif corrupt:
+            outcome = Outcome.SDC
+        else:
+            outcome = Outcome.MASKED
+        return FaultRun(
+            fault=fault,
+            outcome=outcome,
+            detections=len(result.detections),
+            activations=injector.activations,
+        )
+
+    def run(self, faults: Sequence[Fault]) -> CampaignResult:
+        golden = self.golden_output()
+        result = CampaignResult()
+        for fault in faults:
+            result.runs.append(self.run_fault(fault, golden))
+        return result
+
+
+def _outputs_equal(a: Sequence, b: Sequence) -> bool:
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if isinstance(x, float) and isinstance(y, float):
+            if x != x and y != y:
+                continue
+            if x != y:
+                return False
+        elif x != y:
+            return False
+    return True

@@ -1,0 +1,52 @@
+"""Fault injector: the :class:`~repro.sim.executor.FaultHook` that
+perturbs execution-unit outputs at configured sites.
+
+One injector serves the whole chip; faults carry their SM/lane/unit
+site.  Transient faults are one-shot: the first matching computation at
+or after the strike cycle absorbs the flip (whether that computation is
+an original or a redundant execution — exactly like a real particle
+strike).  Stuck-at faults perturb every computation on their site,
+which is what makes same-lane redundant execution blind to them (the
+paper's hidden-error problem).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.faults.models import Fault, TransientFault
+from repro.isa.opcodes import UnitType
+from repro.sim.executor import FaultHook
+
+
+class FaultInjector(FaultHook):
+    """Applies a set of faults; counts activations for reporting."""
+
+    def __init__(self, faults: List[Fault]) -> None:
+        self.faults = list(faults)
+        self.activations = 0
+        self._fired: Set[int] = set()  # indices of consumed transients
+
+    def apply(self, sm_id: int, unit: UnitType, hw_lane: int,
+              cycle: int, value: object) -> object:
+        for index, fault in enumerate(self.faults):
+            if not fault.matches_site(sm_id, unit, hw_lane):
+                continue
+            if isinstance(fault, TransientFault):
+                if index in self._fired or not fault.is_armed(cycle):
+                    continue
+                self._fired.add(index)
+            perturbed = fault.apply(value, cycle)
+            if perturbed is not value:
+                self.activations += 1
+            value = perturbed
+        return value
+
+    def reset(self) -> None:
+        """Re-arm transients and clear counters (for campaign reuse)."""
+        self.activations = 0
+        self._fired.clear()
+
+    @property
+    def any_fired(self) -> bool:
+        return self.activations > 0

@@ -1,0 +1,124 @@
+"""Fault models: bit-level perturbations of execution-unit outputs.
+
+Values in the simulator are Python ints (wrapped to 32-bit) or floats;
+faults operate on the 32-bit pattern the hardware would produce —
+IEEE-754 single for floats, two's complement for ints — and convert
+back, so a flipped exponent bit really does produce the wild values it
+would in silicon.  Predicate/boolean results are treated as one-bit
+values (any fault on bit 0 flips them; other bits are masked ones).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import FaultInjectionError
+from repro.isa.opcodes import UnitType
+
+_U32 = 0xFFFFFFFF
+
+
+def _float_to_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _bits_to_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & _U32))[0]
+
+
+def _int_to_bits(value: int) -> int:
+    return value & _U32
+
+
+def _bits_to_int(bits: int) -> int:
+    bits &= _U32
+    return bits - (1 << 32) if bits & 0x80000000 else bits
+
+
+def flip_bit(value: object, bit: int) -> object:
+    """Flip *bit* of the value's 32-bit hardware representation."""
+    if not 0 <= bit < 32:
+        raise FaultInjectionError(f"bit index {bit} out of range [0, 32)")
+    if isinstance(value, bool):
+        return not value if bit == 0 else value
+    if isinstance(value, float):
+        return _bits_to_float(_float_to_bits(value) ^ (1 << bit))
+    if isinstance(value, int):
+        return _bits_to_int(_int_to_bits(value) ^ (1 << bit))
+    raise FaultInjectionError(f"cannot inject into value {value!r}")
+
+
+def force_bit(value: object, bit: int, stuck_to: int) -> object:
+    """Force *bit* of the value's 32-bit representation to *stuck_to*."""
+    if not 0 <= bit < 32:
+        raise FaultInjectionError(f"bit index {bit} out of range [0, 32)")
+    if stuck_to not in (0, 1):
+        raise FaultInjectionError(f"stuck_to must be 0 or 1, got {stuck_to}")
+    if isinstance(value, bool):
+        if bit != 0:
+            return value
+        return bool(stuck_to)
+    if isinstance(value, float):
+        bits = _float_to_bits(value)
+        bits = bits | (1 << bit) if stuck_to else bits & ~(1 << bit)
+        return _bits_to_float(bits)
+    if isinstance(value, int):
+        bits = _int_to_bits(value)
+        bits = bits | (1 << bit) if stuck_to else bits & ~(1 << bit)
+        return _bits_to_int(bits)
+    raise FaultInjectionError(f"cannot inject into value {value!r}")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base fault: a site (SM, unit type, hardware lane).
+
+    ``unit is None`` matches every unit type at that lane (a defect in
+    the lane's shared operand path).
+    """
+
+    sm_id: int
+    hw_lane: int
+    unit: Optional[UnitType] = None
+
+    def matches_site(self, sm_id: int, unit: UnitType, hw_lane: int) -> bool:
+        return (
+            sm_id == self.sm_id
+            and hw_lane == self.hw_lane
+            and (self.unit is None or unit is self.unit)
+        )
+
+    def apply(self, value: object, cycle: int) -> object:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StuckAtFault(Fault):
+    """Permanent defect: output *bit* stuck at *stuck_to* on every use."""
+
+    bit: int = 0
+    stuck_to: int = 0
+
+    def apply(self, value: object, cycle: int) -> object:
+        return force_bit(value, self.bit, self.stuck_to)
+
+
+@dataclass(frozen=True)
+class TransientFault(Fault):
+    """Soft error: a single bit flip on the first use at/after *cycle*.
+
+    Real particle strikes hit at a wall-clock instant; modeling "the
+    next computation on this lane at or after the strike cycle" avoids
+    the needle-in-a-haystack problem of guessing an exact active cycle.
+    """
+
+    bit: int = 0
+    cycle: int = 0
+
+    def apply(self, value: object, cycle: int) -> object:
+        return flip_bit(value, self.bit)
+
+    def is_armed(self, cycle: int) -> bool:
+        return cycle >= self.cycle

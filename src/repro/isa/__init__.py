@@ -1,0 +1,26 @@
+"""PTX-like mini instruction set executed by the SIMT simulator.
+
+The ISA is deliberately small but covers everything the paper's
+evaluation exercises: integer and floating-point arithmetic on SP units
+(including the 3-read-1-write fused multiply-add), transcendental
+operations on SFUs, shared/global loads and stores on LD/ST units,
+predicate-setting compares, predicated branches, barriers, and exit.
+"""
+
+from repro.isa.operands import Imm, Operand, Reg, SReg, SpecialReg
+from repro.isa.opcodes import CmpOp, Opcode, OpInfo, UnitType, op_info
+from repro.isa.instruction import Instruction
+
+__all__ = [
+    "CmpOp",
+    "Imm",
+    "Instruction",
+    "Opcode",
+    "OpInfo",
+    "Operand",
+    "Reg",
+    "SReg",
+    "SpecialReg",
+    "UnitType",
+    "op_info",
+]

@@ -1,0 +1,79 @@
+"""Operand kinds for the mini-ISA.
+
+Three operand kinds exist:
+
+* :class:`Reg` — a per-thread 32-bit general register ``r<idx>``.
+* :class:`Imm` — an immediate constant baked into the instruction.
+* :class:`SReg` — a read-only special register (thread/block identity),
+  mirroring PTX ``%tid``, ``%ntid``, ``%ctaid``, ``%nctaid`` and the
+  hardware lane id.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class SpecialReg(enum.Enum):
+    """Read-only per-thread identity registers."""
+
+    TID = "tid"          # thread index within its block
+    NTID = "ntid"        # block dimension (threads per block)
+    CTAID = "ctaid"      # block index within the grid
+    NCTAID = "nctaid"    # grid dimension (number of blocks)
+    GTID = "gtid"        # global thread index = ctaid * ntid + tid
+    LANEID = "laneid"    # SIMT lane within the warp
+
+
+@dataclass(frozen=True)
+class Reg:
+    """General-purpose register ``r<idx>`` (32-bit, per thread)."""
+
+    idx: int
+
+    def __post_init__(self) -> None:
+        if self.idx < 0:
+            raise ValueError(f"register index must be >= 0, got {self.idx}")
+
+    def __repr__(self) -> str:
+        return f"%r{self.idx}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate constant (int or float)."""
+
+    value: Union[int, float]
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class SReg:
+    """Special (identity) register operand."""
+
+    kind: SpecialReg
+
+    def __repr__(self) -> str:
+        return f"%{self.kind.value}"
+
+
+Operand = Union[Reg, Imm, SReg]
+
+
+def as_operand(value: Union[Operand, int, float]) -> Operand:
+    """Coerce a bare Python number into an :class:`Imm`.
+
+    The kernel builder accepts plain literals wherever an operand is
+    expected; this is the single place that coercion happens.
+    """
+    if isinstance(value, (Reg, Imm, SReg)):
+        return value
+    if isinstance(value, bool):
+        return Imm(int(value))
+    if isinstance(value, (int, float)):
+        return Imm(value)
+    raise TypeError(f"cannot use {value!r} as an instruction operand")

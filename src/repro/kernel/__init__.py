@@ -1,0 +1,18 @@
+"""Kernel toolchain: a builder DSL, validated programs and CFG analysis.
+
+Kernels are written against :class:`KernelBuilder` (an assembler-style
+API), compiled into an immutable :class:`Program`, and analyzed for SIMT
+reconvergence points (immediate post-dominators of divergent branches)
+before the simulator runs them.
+"""
+
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.cfg import ControlFlowGraph, compute_reconvergence_table
+from repro.kernel.program import Program
+
+__all__ = [
+    "ControlFlowGraph",
+    "KernelBuilder",
+    "Program",
+    "compute_reconvergence_table",
+]

@@ -1,0 +1,309 @@
+"""Assembler-style kernel builder DSL.
+
+Workload kernels (:mod:`repro.workloads`) are written against this API:
+
+    b = KernelBuilder("saxpy")
+    i = b.reg(); x = b.reg(); y = b.reg()
+    b.mov(i, SReg(SpecialReg.GTID))
+    b.ld_global(x, i, offset=0)
+    b.ld_global(y, i, offset=1024)
+    b.ffma(y, x, 2.0, y)
+    b.st_global(i, y, offset=1024)
+    b.exit()
+    program = b.build()
+
+Labels are forward-referenceable; :meth:`KernelBuilder.build` resolves
+them, validates the program, and computes the SIMT reconvergence table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.common.errors import KernelError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, Opcode
+from repro.isa.operands import Operand, Reg, SReg, SpecialReg, as_operand
+from repro.kernel.program import Program
+from repro.kernel.cfg import compute_reconvergence_table
+
+OperandLike = Union[Operand, int, float]
+
+
+class KernelBuilder:
+    """Incrementally assembles a :class:`Program`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._next_reg = 0
+        self._next_pred = 0
+
+    # ------------------------------------------------------------------
+    # Register allocation
+    # ------------------------------------------------------------------
+    def reg(self) -> Reg:
+        """Allocate a fresh general register."""
+        r = Reg(self._next_reg)
+        self._next_reg += 1
+        return r
+
+    def regs(self, count: int) -> List[Reg]:
+        """Allocate *count* fresh general registers."""
+        return [self.reg() for _ in range(count)]
+
+    def pred(self) -> int:
+        """Allocate a fresh predicate register index."""
+        p = self._next_pred
+        self._next_pred += 1
+        return p
+
+    # ------------------------------------------------------------------
+    # Labels and raw emission
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> None:
+        """Define *name* at the current position."""
+        if name in self._labels:
+            raise KernelError(f"duplicate label {name!r} in kernel {self.name!r}")
+        self._labels[name] = len(self._instructions)
+
+    def emit(self, instruction: Instruction) -> Instruction:
+        """Append a pre-built instruction (escape hatch for tests)."""
+        self._instructions.append(instruction)
+        return instruction
+
+    @property
+    def pc(self) -> int:
+        """PC of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    # ------------------------------------------------------------------
+    # ALU (SP)
+    # ------------------------------------------------------------------
+    def _alu(self, opcode: Opcode, dst: Reg, *srcs: OperandLike,
+             pred: Optional[int] = None, pred_neg: bool = False) -> Instruction:
+        return self.emit(Instruction(
+            opcode=opcode,
+            dst=dst,
+            srcs=tuple(as_operand(s) for s in srcs),
+            pred=pred,
+            pred_neg=pred_neg,
+        ))
+
+    def mov(self, dst: Reg, src: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.MOV, dst, src, **kw)
+
+    def iadd(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.IADD, dst, a, b, **kw)
+
+    def isub(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.ISUB, dst, a, b, **kw)
+
+    def imul(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.IMUL, dst, a, b, **kw)
+
+    def imad(self, dst: Reg, a: OperandLike, b: OperandLike,
+             c: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.IMAD, dst, a, b, c, **kw)
+
+    def idiv(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.IDIV, dst, a, b, **kw)
+
+    def irem(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.IREM, dst, a, b, **kw)
+
+    def imin(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.IMIN, dst, a, b, **kw)
+
+    def imax(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.IMAX, dst, a, b, **kw)
+
+    def and_(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.AND, dst, a, b, **kw)
+
+    def or_(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.OR, dst, a, b, **kw)
+
+    def xor(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.XOR, dst, a, b, **kw)
+
+    def not_(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.NOT, dst, a, **kw)
+
+    def shl(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.SHL, dst, a, b, **kw)
+
+    def shr(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.SHR, dst, a, b, **kw)
+
+    def fadd(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.FADD, dst, a, b, **kw)
+
+    def fsub(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.FSUB, dst, a, b, **kw)
+
+    def fmul(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.FMUL, dst, a, b, **kw)
+
+    def ffma(self, dst: Reg, a: OperandLike, b: OperandLike,
+             c: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.FFMA, dst, a, b, c, **kw)
+
+    def fmin(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.FMIN, dst, a, b, **kw)
+
+    def fmax(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.FMAX, dst, a, b, **kw)
+
+    def fabs(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.FABS, dst, a, **kw)
+
+    def fneg(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.FNEG, dst, a, **kw)
+
+    def i2f(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.I2F, dst, a, **kw)
+
+    def f2i(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.F2I, dst, a, **kw)
+
+    # ------------------------------------------------------------------
+    # SFU
+    # ------------------------------------------------------------------
+    def sin(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.SIN, dst, a, **kw)
+
+    def cos(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.COS, dst, a, **kw)
+
+    def sqrt(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.SQRT, dst, a, **kw)
+
+    def rsqrt(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.RSQRT, dst, a, **kw)
+
+    def exp(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.EXP, dst, a, **kw)
+
+    def log(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        return self._alu(Opcode.LOG, dst, a, **kw)
+
+    # ------------------------------------------------------------------
+    # Predicates and control flow
+    # ------------------------------------------------------------------
+    def setp(self, pdst: int, a: OperandLike, cmp: CmpOp, b: OperandLike,
+             pred: Optional[int] = None, pred_neg: bool = False) -> Instruction:
+        return self.emit(Instruction(
+            opcode=Opcode.SETP,
+            srcs=(as_operand(a), as_operand(b)),
+            pdst=pdst,
+            cmp=cmp,
+            pred=pred,
+            pred_neg=pred_neg,
+        ))
+
+    def selp(self, dst: Reg, a: OperandLike, b: OperandLike, psrc: int,
+             **kw) -> Instruction:
+        return self.emit(Instruction(
+            opcode=Opcode.SELP,
+            dst=dst,
+            srcs=(as_operand(a), as_operand(b)),
+            psrc=psrc,
+            **kw,
+        ))
+
+    def bra(self, target: str, pred: int, neg: bool = False) -> Instruction:
+        """Predicated branch: taken in lanes where the predicate holds."""
+        return self.emit(Instruction(
+            opcode=Opcode.BRA, target=target, pred=pred, pred_neg=neg,
+        ))
+
+    def jmp(self, target: str) -> Instruction:
+        return self.emit(Instruction(opcode=Opcode.JMP, target=target))
+
+    def bar(self) -> Instruction:
+        """Block-wide barrier (CUDA ``__syncthreads``)."""
+        return self.emit(Instruction(opcode=Opcode.BAR))
+
+    def nop(self, **kw) -> Instruction:
+        return self.emit(Instruction(opcode=Opcode.NOP, **kw))
+
+    def exit(self) -> Instruction:
+        return self.emit(Instruction(opcode=Opcode.EXIT))
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _mem(self, opcode: Opcode, dst: Optional[Reg],
+             srcs: tuple, offset: int,
+             pred: Optional[int], pred_neg: bool) -> Instruction:
+        return self.emit(Instruction(
+            opcode=opcode,
+            dst=dst,
+            srcs=srcs,
+            offset=offset,
+            pred=pred,
+            pred_neg=pred_neg,
+        ))
+
+    def ld_global(self, dst: Reg, addr: OperandLike, offset: int = 0,
+                  pred: Optional[int] = None, pred_neg: bool = False) -> Instruction:
+        return self._mem(Opcode.LD_GLOBAL, dst, (as_operand(addr),),
+                         offset, pred, pred_neg)
+
+    def st_global(self, addr: OperandLike, value: OperandLike, offset: int = 0,
+                  pred: Optional[int] = None, pred_neg: bool = False) -> Instruction:
+        return self._mem(Opcode.ST_GLOBAL, None,
+                         (as_operand(addr), as_operand(value)),
+                         offset, pred, pred_neg)
+
+    def ld_shared(self, dst: Reg, addr: OperandLike, offset: int = 0,
+                  pred: Optional[int] = None, pred_neg: bool = False) -> Instruction:
+        return self._mem(Opcode.LD_SHARED, dst, (as_operand(addr),),
+                         offset, pred, pred_neg)
+
+    def st_shared(self, addr: OperandLike, value: OperandLike, offset: int = 0,
+                  pred: Optional[int] = None, pred_neg: bool = False) -> Instruction:
+        return self._mem(Opcode.ST_SHARED, None,
+                         (as_operand(addr), as_operand(value)),
+                         offset, pred, pred_neg)
+
+    # ------------------------------------------------------------------
+    # Convenience special-register readers
+    # ------------------------------------------------------------------
+    def tid(self, dst: Reg, **kw) -> Instruction:
+        return self.mov(dst, SReg(SpecialReg.TID), **kw)
+
+    def gtid(self, dst: Reg, **kw) -> Instruction:
+        return self.mov(dst, SReg(SpecialReg.GTID), **kw)
+
+    def ctaid(self, dst: Reg, **kw) -> Instruction:
+        return self.mov(dst, SReg(SpecialReg.CTAID), **kw)
+
+    def ntid(self, dst: Reg, **kw) -> Instruction:
+        return self.mov(dst, SReg(SpecialReg.NTID), **kw)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Resolve labels, validate, and compute reconvergence points."""
+        resolved: List[Instruction] = []
+        for pc, inst in enumerate(self._instructions):
+            if isinstance(inst.target, str):
+                label = inst.target
+                if label not in self._labels:
+                    raise KernelError(
+                        f"kernel {self.name!r}: undefined label {label!r} "
+                        f"at pc={pc}"
+                    )
+                inst = inst.resolved(self._labels[label])
+            resolved.append(inst)
+        reconvergence = compute_reconvergence_table(resolved)
+        return Program(
+            name=self.name,
+            instructions=tuple(resolved),
+            labels=dict(self._labels),
+            reconvergence=reconvergence,
+        )

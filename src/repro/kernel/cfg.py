@@ -1,0 +1,127 @@
+"""Control-flow graph and reconvergence-point analysis.
+
+GPGPUs reconverge divergent warps at the *immediate post-dominator*
+(IPDOM) of the divergent branch.  This module builds a per-instruction
+CFG for a program and computes, for every conditional branch, the PC at
+which both sides of the divergence are guaranteed to meet again.  The
+simulator's SIMT stack (:mod:`repro.sim.simt_stack`) pops its divergence
+entries at exactly these PCs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import networkx as nx
+
+from repro.common.errors import KernelError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+#: Virtual node representing "after the program"; every EXIT flows here.
+EXIT_NODE = -1
+
+
+class ControlFlowGraph:
+    """Per-instruction CFG of a resolved instruction sequence."""
+
+    def __init__(self, instructions: Sequence[Instruction]) -> None:
+        self._instructions = list(instructions)
+        self.graph = nx.DiGraph()
+        self._build()
+
+    def _build(self) -> None:
+        instructions = self._instructions
+        n = len(instructions)
+        self.graph.add_node(EXIT_NODE)
+        for pc, inst in enumerate(instructions):
+            self.graph.add_node(pc)
+            if inst.opcode is Opcode.EXIT:
+                self.graph.add_edge(pc, EXIT_NODE)
+                continue
+            if inst.opcode is Opcode.JMP:
+                self.graph.add_edge(pc, self._checked_target(pc, inst))
+                continue
+            if inst.opcode is Opcode.BRA:
+                self.graph.add_edge(pc, self._checked_target(pc, inst))
+                # fall-through for not-taken lanes
+                self._add_fallthrough(pc, n)
+                continue
+            self._add_fallthrough(pc, n)
+
+    def _add_fallthrough(self, pc: int, n: int) -> None:
+        if pc + 1 >= n:
+            raise KernelError(
+                f"instruction at pc={pc} falls through past the end of the "
+                "program; every path must reach an exit"
+            )
+        self.graph.add_edge(pc, pc + 1)
+
+    def _checked_target(self, pc: int, inst: Instruction) -> int:
+        target = inst.target
+        if not isinstance(target, int):
+            raise KernelError(
+                f"branch at pc={pc} has unresolved target {target!r}"
+            )
+        if not 0 <= target < len(self._instructions):
+            raise KernelError(
+                f"branch at pc={pc} targets pc={target}, outside the program"
+            )
+        return target
+
+    # ------------------------------------------------------------------
+    def conditional_branch_pcs(self) -> List[int]:
+        """PCs of all conditional (potentially divergent) branches."""
+        return [
+            pc for pc, inst in enumerate(self._instructions)
+            if inst.opcode is Opcode.BRA
+        ]
+
+    def reachable_from_entry(self) -> bool:
+        """Whether every instruction is reachable from pc=0."""
+        if not self._instructions:
+            return True
+        reachable = nx.descendants(self.graph, 0) | {0}
+        return all(pc in reachable for pc in range(len(self._instructions)))
+
+    def all_paths_exit(self) -> bool:
+        """Whether every instruction can reach the exit node."""
+        reversed_graph = self.graph.reverse(copy=False)
+        reaches_exit = nx.descendants(reversed_graph, EXIT_NODE)
+        return all(pc in reaches_exit for pc in range(len(self._instructions)))
+
+    def immediate_post_dominators(self) -> Dict[int, int]:
+        """Map every node to its immediate post-dominator.
+
+        Computed as immediate *dominators* on the reversed CFG rooted at
+        the virtual exit node — the standard construction.
+        """
+        reversed_graph = self.graph.reverse(copy=False)
+        idom = nx.immediate_dominators(reversed_graph, EXIT_NODE)
+        idom.pop(EXIT_NODE, None)
+        return idom
+
+
+def compute_reconvergence_table(
+    instructions: Sequence[Instruction],
+) -> Dict[int, int]:
+    """For each conditional branch PC, the PC where divergence reconverges.
+
+    A reconvergence point of ``EXIT_NODE`` means the two paths only meet
+    after the program ends (e.g. a divergent branch around the final
+    exit); the SIMT stack treats that as "reconverge at thread exit".
+    """
+    cfg = ControlFlowGraph(instructions)
+    if not cfg.all_paths_exit():
+        raise KernelError("program has instructions from which exit is unreachable")
+    ipdom = cfg.immediate_post_dominators()
+    table: Dict[int, int] = {}
+    for pc in cfg.conditional_branch_pcs():
+        node = ipdom.get(pc, EXIT_NODE)
+        # The branch's own IPDOM; walk past itself if the analysis
+        # returned the branch (cannot happen for conditional branches
+        # with two distinct successors, but guard anyway).
+        if node == pc:
+            node = ipdom.get(pc, EXIT_NODE)
+        table[pc] = node
+    return table

@@ -1,0 +1,74 @@
+"""Reusable instruction-sequence helpers for kernel authors.
+
+The mini-ISA is deliberately small; common multi-instruction idioms
+(rotates, predicate conjunction through integer flags, absolute
+difference) live here so kernels and user code do not re-derive them.
+Every helper takes the builder plus explicit scratch registers — the
+builder does not allocate behind the caller's back.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import KernelError
+from repro.isa.opcodes import CmpOp
+from repro.isa.operands import Reg
+from repro.kernel.builder import KernelBuilder
+
+
+def emit_rotl(b: KernelBuilder, dst: Reg, src: Reg, amount: int,
+              t1: Reg, t2: Reg) -> None:
+    """dst = src rotated left by *amount* (32-bit).
+
+    Uses two scratch registers; ``dst`` may alias ``src``.
+    """
+    if not 0 < amount < 32:
+        raise KernelError(f"rotate amount must be in (0, 32), got {amount}")
+    b.shl(t1, src, amount)
+    b.shr(t2, src, 32 - amount)
+    b.or_(dst, t1, t2)
+
+
+def emit_pred_and(b: KernelBuilder, pdst: int, pa: int, pb: int,
+                  t1: Reg, t2: Reg) -> None:
+    """pdst = pa AND pb.
+
+    The ISA has no predicate-to-predicate logic (like early PTX
+    profiles); the conjunction routes through integer flags.
+    """
+    b.selp(t1, 1, 0, pa)
+    b.selp(t2, 1, 0, pb)
+    b.and_(t1, t1, t2)
+    b.setp(pdst, t1, CmpOp.EQ, 1)
+
+
+def emit_pred_or(b: KernelBuilder, pdst: int, pa: int, pb: int,
+                 t1: Reg, t2: Reg) -> None:
+    """pdst = pa OR pb (via integer flags, see :func:`emit_pred_and`)."""
+    b.selp(t1, 1, 0, pa)
+    b.selp(t2, 1, 0, pb)
+    b.or_(t1, t1, t2)
+    b.setp(pdst, t1, CmpOp.EQ, 1)
+
+
+def emit_iabs(b: KernelBuilder, dst: Reg, src: Reg, t1: Reg) -> None:
+    """dst = |src| for 32-bit integers (dst may alias src)."""
+    b.isub(t1, 0, src)
+    b.imax(dst, src, t1)
+
+
+def emit_clamp(b: KernelBuilder, dst: Reg, src: Reg,
+               low: int, high: int) -> None:
+    """dst = min(max(src, low), high)."""
+    if low > high:
+        raise KernelError(f"clamp range inverted: [{low}, {high}]")
+    b.imax(dst, src, low)
+    b.imin(dst, dst, high)
+
+
+def emit_range_check(b: KernelBuilder, pdst: int, value: Reg,
+                     low: int, high: int, t1: Reg, t2: Reg,
+                     p_scratch: int) -> None:
+    """pdst = (low <= value < high) — the ubiquitous bounds guard."""
+    b.setp(p_scratch, value, CmpOp.GE, low)
+    b.setp(pdst, value, CmpOp.LT, high)
+    emit_pred_and(b, pdst, pdst, p_scratch, t1, t2)

@@ -1,0 +1,12 @@
+"""Analytical power/energy model (paper Section 5.4, after Hong & Kim).
+
+Runtime power of each processing component is its max power scaled by
+its access rate (Equation 1/2); idle/static power and a per-SM constant
+are added on top; energy integrates power over the simulated kernel
+time.  Memory components are excluded, exactly as the paper does.
+"""
+
+from repro.power.params import PowerParams
+from repro.power.model import PowerModel, PowerReport
+
+__all__ = ["PowerModel", "PowerParams", "PowerReport"]

@@ -1,0 +1,115 @@
+"""Power/energy computation from simulation statistics.
+
+Equation (1)/(2) of the paper (after Hong & Kim):
+
+    RP_comp      = MaxPower_comp * AccessRate_comp
+    AccessRate   = accesses_comp / exec_cycles        (per SM, <= ~1)
+
+Accesses per component are taken from the simulator's counters:
+
+* SP / SFU / LDST — original issues of that unit type, plus Warped-DMR
+  redundant executions (inter-warp whole-warp replays, and intra-warp
+  idle-lane executions converted to warp-instruction equivalents).
+* Register file — one access per issue plus one per redundant
+  execution (DMR re-reads operands from the ReplayQ/forwarding path,
+  but writes back comparisons through the same banks).
+* Fetch/decode/schedule — one per issue (replays skip the front end).
+* ReplayQ — one access per enqueue or dequeue.
+
+Energy = total power x simulated time (cycles x clock period).
+Memory components (caches, shared memory) are excluded, as in the
+paper: redundant executions reuse already-loaded data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.config import GPUConfig
+from repro.common.stats import StatSet
+from repro.isa.opcodes import UnitType
+from repro.power.params import PowerParams
+from repro.sim.gpu import KernelResult
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power/energy of one run."""
+
+    runtime_power_w: float
+    total_power_w: float
+    energy_j: float
+    component_power_w: Dict[str, float]
+
+    def normalized_to(self, baseline: "PowerReport") -> Dict[str, float]:
+        """Figure 11's two bars: power and energy vs the baseline."""
+        return {
+            "power": self.total_power_w / baseline.total_power_w,
+            "energy": self.energy_j / baseline.energy_j,
+        }
+
+
+class PowerModel:
+    """Computes a :class:`PowerReport` for a finished kernel run."""
+
+    def __init__(self, config: GPUConfig,
+                 params: PowerParams | None = None) -> None:
+        self.config = config
+        self.params = params or PowerParams()
+
+    # ------------------------------------------------------------------
+    def _unit_accesses(self, stats: StatSet, unit: UnitType) -> float:
+        """Warp-instruction-equivalent accesses of one unit type."""
+        issued = stats.histogram("unit_type").count(unit.value)
+        replays = stats.value(f"verify_unit_{unit.value}")
+        intra_lanes = stats.value(f"intra_redundant_lanes_{unit.value}")
+        return issued + replays + intra_lanes / self.config.warp_size
+
+    def report(self, result: KernelResult) -> PowerReport:
+        stats = result.stats
+        params = self.params
+        cycles = max(1, result.cycles)
+        active_sms = max(1, len(result.per_sm_cycles))
+        # Counters are summed over SMs; divide by the number of active
+        # SMs for a per-SM average access rate.
+        def rate(accesses: float) -> float:
+            return min(1.0, accesses / active_sms / cycles)
+
+        sp = self._unit_accesses(stats, UnitType.SP)
+        sfu = self._unit_accesses(stats, UnitType.SFU)
+        ldst = self._unit_accesses(stats, UnitType.LDST)
+        issues = stats.value("instructions_issued")
+        redundant = (
+            stats.value("verify_unit_SP")
+            + stats.value("verify_unit_SFU")
+            + stats.value("verify_unit_LDST")
+            + stats.value("intra_warp_redundant_executions")
+            / self.config.warp_size
+        )
+        replayq_accesses = (
+            stats.value("replayq_enqueues")
+            + stats.value("replayq_swaps")
+            + stats.value("replayq_idle_drains")
+        )
+
+        component = {
+            "SP": params.max_power_sp * rate(sp),
+            "SFU": params.max_power_sfu * rate(sfu),
+            "LDST": params.max_power_ldst * rate(ldst),
+            "RF": params.max_power_regfile * rate(issues + redundant),
+            "FDS": params.max_power_fds * rate(issues),
+            "ReplayQ": params.max_power_replayq * rate(replayq_accesses),
+        }
+        per_sm_runtime = sum(component.values()) + params.constant_per_sm
+        runtime = per_sm_runtime * active_sms
+        static = (params.static_per_sm * self.config.num_sms
+                  + params.static_chip)
+        total = runtime + static
+        time_s = cycles * self.config.clock_period_ns * 1e-9
+        return PowerReport(
+            runtime_power_w=runtime,
+            total_power_w=total,
+            energy_j=total * time_s,
+            component_power_w=component,
+        )

@@ -1,0 +1,24 @@
+"""Cycle-level SIMT GPU simulator (the GPGPU-Sim stand-in substrate).
+
+The model follows the paper's baseline (Table 3, Figure 2, Figure 7):
+a chip of independent SMs, each with a single warp scheduler issuing one
+warp-instruction per cycle to one of three execution-unit types (SP,
+LD/ST, SFU), an in-order super-pipelined backend, a scoreboard for RAW
+hazards, and immediate-post-dominator SIMT reconvergence.
+
+The public entry point is :class:`repro.sim.gpu.GPU`.
+"""
+
+from repro.sim.events import IssueEvent
+from repro.sim.gpu import GPU, KernelResult
+from repro.sim.memory import GlobalMemory, SharedMemory
+from repro.sim.warp import Warp
+
+__all__ = [
+    "GPU",
+    "GlobalMemory",
+    "IssueEvent",
+    "KernelResult",
+    "SharedMemory",
+    "Warp",
+]

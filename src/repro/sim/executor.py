@@ -1,0 +1,356 @@
+"""Functional execution of mini-ISA instructions.
+
+Two layers:
+
+* :func:`compute_lane` — the *pure* ALU: opcode + operand values in,
+  result value out.  Both the original execution and every DMR
+  re-execution go through this single function, so a redundant
+  execution is bit-identical unless a fault model perturbs one of them.
+* :class:`Executor` — the stateful layer: reads registers/special
+  registers, applies the fault hook at the execution unit, writes
+  results back, performs memory accesses and resolves control flow.
+
+Integer results wrap to signed 32-bit (like real SPs); shifts and
+bitwise operations act on the unsigned 32-bit pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.common.bitops import ActiveMask, iter_active_lanes
+from repro.common.errors import SimulationError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, Opcode, UnitType
+from repro.isa.operands import Imm, Reg, SReg, SpecialReg
+from repro.sim.events import IssueEvent
+from repro.sim.memory import GlobalMemory
+from repro.sim.warp import Warp
+
+_U32 = 0xFFFFFFFF
+
+
+def _wrap_i32(value: int) -> int:
+    """Wrap a Python int to signed 32-bit two's complement."""
+    value &= _U32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _as_u32(value: object) -> int:
+    return int(value) & _U32
+
+
+def _as_int(value: object) -> int:
+    if isinstance(value, float):
+        return int(value)
+    return int(value)
+
+
+def _as_float(value: object) -> float:
+    return float(value)
+
+
+def compute_lane(inst: Instruction, inputs: Tuple) -> object:
+    """Pure per-lane ALU/AGU computation.
+
+    For memory instructions the *result* is the effective address (the
+    quantity Warped-DMR verifies); for SETP it is the boolean outcome;
+    for BRA it is the taken flag (the guard predicate value is passed as
+    the single input); for SELP the predicate is appended as a final
+    input.
+    """
+    op = inst.opcode
+    if op is Opcode.MOV:
+        return inputs[0]
+    if op is Opcode.IADD:
+        return _wrap_i32(_as_int(inputs[0]) + _as_int(inputs[1]))
+    if op is Opcode.ISUB:
+        return _wrap_i32(_as_int(inputs[0]) - _as_int(inputs[1]))
+    if op is Opcode.IMUL:
+        return _wrap_i32(_as_int(inputs[0]) * _as_int(inputs[1]))
+    if op is Opcode.IMAD:
+        return _wrap_i32(
+            _as_int(inputs[0]) * _as_int(inputs[1]) + _as_int(inputs[2])
+        )
+    if op is Opcode.IDIV:
+        b = _as_int(inputs[1])
+        if b == 0:
+            return 0  # hardware "undefined"; modeled as 0 for determinism
+        q = abs(_as_int(inputs[0])) // abs(b)
+        if (_as_int(inputs[0]) < 0) != (b < 0):
+            q = -q
+        return _wrap_i32(q)
+    if op is Opcode.IREM:
+        b = _as_int(inputs[1])
+        if b == 0:
+            return 0
+        a = _as_int(inputs[0])
+        r = abs(a) % abs(b)
+        return _wrap_i32(-r if a < 0 else r)
+    if op is Opcode.IMIN:
+        return min(_as_int(inputs[0]), _as_int(inputs[1]))
+    if op is Opcode.IMAX:
+        return max(_as_int(inputs[0]), _as_int(inputs[1]))
+    if op is Opcode.AND:
+        return _wrap_i32(_as_u32(inputs[0]) & _as_u32(inputs[1]))
+    if op is Opcode.OR:
+        return _wrap_i32(_as_u32(inputs[0]) | _as_u32(inputs[1]))
+    if op is Opcode.XOR:
+        return _wrap_i32(_as_u32(inputs[0]) ^ _as_u32(inputs[1]))
+    if op is Opcode.NOT:
+        return _wrap_i32(~_as_u32(inputs[0]))
+    if op is Opcode.SHL:
+        return _wrap_i32(_as_u32(inputs[0]) << (_as_int(inputs[1]) & 31))
+    if op is Opcode.SHR:
+        return _wrap_i32(_as_u32(inputs[0]) >> (_as_int(inputs[1]) & 31))
+    if op is Opcode.FADD:
+        return _as_float(inputs[0]) + _as_float(inputs[1])
+    if op is Opcode.FSUB:
+        return _as_float(inputs[0]) - _as_float(inputs[1])
+    if op is Opcode.FMUL:
+        return _as_float(inputs[0]) * _as_float(inputs[1])
+    if op is Opcode.FFMA:
+        return (_as_float(inputs[0]) * _as_float(inputs[1])
+                + _as_float(inputs[2]))
+    if op is Opcode.FMIN:
+        return min(_as_float(inputs[0]), _as_float(inputs[1]))
+    if op is Opcode.FMAX:
+        return max(_as_float(inputs[0]), _as_float(inputs[1]))
+    if op is Opcode.FABS:
+        return abs(_as_float(inputs[0]))
+    if op is Opcode.FNEG:
+        return -_as_float(inputs[0])
+    if op is Opcode.I2F:
+        return float(_as_int(inputs[0]))
+    if op is Opcode.F2I:
+        return _wrap_i32(int(_as_float(inputs[0])))
+    if op is Opcode.SIN:
+        return math.sin(_as_float(inputs[0]))
+    if op is Opcode.COS:
+        return math.cos(_as_float(inputs[0]))
+    if op is Opcode.SQRT:
+        return math.sqrt(max(0.0, _as_float(inputs[0])))
+    if op is Opcode.RSQRT:
+        x = _as_float(inputs[0])
+        return 1.0 / math.sqrt(x) if x > 0.0 else 0.0
+    if op is Opcode.EXP:
+        return math.exp(min(_as_float(inputs[0]), 700.0))
+    if op is Opcode.LOG:
+        x = _as_float(inputs[0])
+        return math.log(x) if x > 0.0 else float("-inf")
+    if op is Opcode.SETP:
+        a, b = inputs
+        if isinstance(a, float) or isinstance(b, float):
+            a, b = _as_float(a), _as_float(b)
+        else:
+            a, b = _as_int(a), _as_int(b)
+        return {
+            CmpOp.EQ: a == b, CmpOp.NE: a != b,
+            CmpOp.LT: a < b, CmpOp.LE: a <= b,
+            CmpOp.GT: a > b, CmpOp.GE: a >= b,
+        }[inst.cmp]
+    if op is Opcode.SELP:
+        return inputs[0] if inputs[2] else inputs[1]
+    if op is Opcode.BRA:
+        return bool(inputs[0])
+    if op in (Opcode.LD_GLOBAL, Opcode.LD_SHARED):
+        return _as_int(inputs[0]) + inst.offset  # effective address
+    if op in (Opcode.ST_GLOBAL, Opcode.ST_SHARED):
+        return _as_int(inputs[0]) + inst.offset  # effective address
+    if op in (Opcode.JMP, Opcode.EXIT, Opcode.BAR, Opcode.NOP):
+        return 0
+    raise SimulationError(f"no functional semantics for {op}")
+
+
+class FaultHook:
+    """Interface for perturbing execution-unit outputs.
+
+    The default implementation is fault free.  The fault-injection
+    package provides real implementations; the executor calls
+    :meth:`apply` once per lane-computation on the *hardware lane* that
+    performed it.
+    """
+
+    def apply(self, sm_id: int, unit: UnitType, hw_lane: int,
+              cycle: int, value: object) -> object:
+        return value
+
+
+@dataclass
+class ControlOutcome:
+    """Control-flow consequence of an executed instruction."""
+
+    kind: str = "advance"  # advance | jump | branch | exit | barrier
+    target: int = 0
+    taken_mask: ActiveMask = 0
+    exit_mask: ActiveMask = 0
+
+
+@dataclass
+class ExecResult:
+    """Everything the SM needs after functionally executing one issue."""
+
+    event: IssueEvent
+    control: ControlOutcome = field(default_factory=ControlOutcome)
+
+
+class Executor:
+    """Stateful functional executor bound to one SM."""
+
+    def __init__(self, sm_id: int, global_memory: GlobalMemory,
+                 fault_hook: Optional[FaultHook] = None) -> None:
+        self.sm_id = sm_id
+        self.global_memory = global_memory
+        self.fault_hook = fault_hook or FaultHook()
+
+    # ------------------------------------------------------------------
+    def _operand_value(self, warp: Warp, slot: int, operand) -> object:
+        if isinstance(operand, Reg):
+            return warp.read_reg(slot, operand.idx)
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, SReg):
+            kind = operand.kind
+            if kind is SpecialReg.TID:
+                return warp.tid(slot)
+            if kind is SpecialReg.NTID:
+                return warp.block.block_dim
+            if kind is SpecialReg.CTAID:
+                return warp.block.block_id
+            if kind is SpecialReg.NCTAID:
+                return warp.grid_dim
+            if kind is SpecialReg.GTID:
+                return warp.gtid(slot)
+            if kind is SpecialReg.LANEID:
+                return warp.lane_of_slot[slot]
+            raise SimulationError(f"unknown special register {kind}")
+        raise SimulationError(f"unknown operand {operand!r}")
+
+    def _guard_mask(self, warp: Warp, inst: Instruction,
+                    mask: ActiveMask) -> ActiveMask:
+        """Apply the instruction's guard predicate to the SIMT mask."""
+        if inst.pred is None:
+            return mask
+        guarded = 0
+        for slot in iter_active_lanes(mask, warp.live_slots):
+            value = warp.read_pred(slot, inst.pred)
+            if value != inst.pred_neg:
+                guarded |= 1 << slot
+        return guarded
+
+    # ------------------------------------------------------------------
+    def execute(self, warp: Warp, inst: Instruction, pc: int,
+                cycle: int) -> ExecResult:
+        """Execute *inst* for the warp's current active mask.
+
+        Architectural state (registers, predicates, memory) is updated
+        immediately; timing is the SM's job.  The returned event captures
+        per-lane inputs and results for DMR re-execution.
+        """
+        simt_mask = warp.stack.current_mask
+        # BRA's predicate is the branch *condition*, not an execution
+        # guard: every SIMT-active lane evaluates the branch.
+        if inst.opcode is Opcode.BRA:
+            exec_mask = simt_mask
+        else:
+            exec_mask = self._guard_mask(warp, inst, simt_mask)
+        hw_mask = warp.hw_mask(exec_mask)
+        event = IssueEvent(
+            cycle=cycle,
+            sm_id=self.sm_id,
+            warp_id=warp.warp_id,
+            pc=pc,
+            instruction=inst,
+            logical_mask=exec_mask,
+            hw_mask=hw_mask,
+            warp_width=warp.warp_size,
+            dest_reg=inst.dest_register(),
+        )
+        control = ControlOutcome()
+        op = inst.opcode
+        info = inst.info
+
+        if op is Opcode.BAR:
+            control.kind = "barrier"
+            return ExecResult(event, control)
+
+        if op is Opcode.EXIT:
+            control.kind = "exit"
+            # An unguarded EXIT retires every SIMT-active lane; a
+            # predicated EXIT only the lanes whose guard holds.
+            control.exit_mask = exec_mask if inst.pred is not None else simt_mask
+            return ExecResult(event, control)
+
+        if op is Opcode.JMP:
+            control.kind = "jump"
+            control.target = int(inst.target)
+            return ExecResult(event, control)
+
+        taken_mask = 0
+        for slot in iter_active_lanes(exec_mask, warp.live_slots):
+            hw_lane = warp.lane_of_slot[slot]
+            if op is Opcode.BRA:
+                condition = warp.read_pred(slot, inst.pred) != inst.pred_neg
+                inputs: Tuple = (condition,)
+            elif op is Opcode.SELP:
+                inputs = tuple(
+                    self._operand_value(warp, slot, s) for s in inst.srcs
+                ) + (warp.read_pred(slot, inst.psrc),)
+            else:
+                inputs = tuple(
+                    self._operand_value(warp, slot, s) for s in inst.srcs
+                )
+            raw = compute_lane(inst, inputs)
+            value = self.fault_hook.apply(
+                self.sm_id, inst.unit, hw_lane, cycle, raw
+            )
+            event.lane_inputs[hw_lane] = inputs
+            event.lane_results[hw_lane] = value
+
+            if op is Opcode.BRA:
+                if value:
+                    taken_mask |= 1 << slot
+            elif op is Opcode.SETP:
+                warp.write_pred(slot, inst.pdst, bool(value))
+            elif info.is_load:
+                addr = value
+                if op is Opcode.LD_GLOBAL:
+                    loaded = self.global_memory.load(addr)
+                else:
+                    loaded = warp.block.shared.load(addr)
+                warp.write_reg(slot, inst.dst.idx, loaded)
+            elif info.is_store:
+                addr = value
+                stored = inputs[1]
+                if op is Opcode.ST_GLOBAL:
+                    self.global_memory.store(addr, stored)
+                else:
+                    warp.block.shared.store(addr, stored)
+            elif info.writes_reg:
+                warp.write_reg(slot, inst.dst.idx, value)
+
+        if op is Opcode.BRA:
+            # BRA with predicated guard: SIMT-inactive or guard-false
+            # lanes fall through.  The taken mask drives divergence.
+            control.kind = "branch"
+            control.target = int(inst.target)
+            control.taken_mask = taken_mask
+        return ExecResult(event, control)
+
+    # ------------------------------------------------------------------
+    def reexecute_lane(self, event: IssueEvent, original_lane: int,
+                       verify_lane: int, cycle: int) -> object:
+        """Redundantly recompute *original_lane*'s result on *verify_lane*.
+
+        Uses the source values captured at issue time (the ReplayQ /
+        RFU store values, not register names), runs the pure ALU, and
+        applies the fault hook at the *verifier's* lane — so a defect on
+        either lane makes the comparison fail.
+        """
+        inputs = event.lane_inputs[original_lane]
+        raw = compute_lane(event.instruction, inputs)
+        return self.fault_hook.apply(
+            event.sm_id, event.instruction.unit, verify_lane, cycle, raw
+        )

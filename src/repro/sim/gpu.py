@@ -1,0 +1,158 @@
+"""GPU top level: block dispatch across SMs and result collection.
+
+SMs in this model do not interact (no shared L2/interconnect model, and
+the workloads use no inter-block synchronization), so thread blocks are
+statically dealt to SMs round-robin and each SM is simulated to
+completion independently; kernel latency is the slowest SM's cycle
+count.  This matches the paper's abstraction level — its evaluation
+only consumes per-SM issue streams and total kernel cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.common.config import DMRConfig, GPUConfig, LaunchConfig, MappingPolicy
+from repro.common.stats import StatSet
+from repro.sim.events import IssueEvent
+from repro.sim.executor import FaultHook
+from repro.sim.memory import GlobalMemory
+from repro.sim.sm import DEFAULT_MAX_CYCLES, SM
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one kernel launch."""
+
+    program_name: str
+    cycles: int
+    per_sm_cycles: List[int]
+    stats: StatSet
+    memory: GlobalMemory
+    detections: List = field(default_factory=list)
+    clock_period_ns: float = 1.25
+
+    @property
+    def coverage(self):
+        """Measured :class:`repro.core.coverage.CoverageReport`."""
+        from repro.core.coverage import CoverageReport  # sim must not
+        # import core at module scope (core builds on sim)
+        return CoverageReport.from_stats(self.stats)
+
+    @property
+    def kernel_time_s(self) -> float:
+        """Wall-clock kernel time at the modeled clock."""
+        return self.cycles * self.clock_period_ns * 1e-9
+
+    @property
+    def instructions_issued(self) -> int:
+        return self.stats.value("instructions_issued")
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelResult({self.program_name!r}, cycles={self.cycles}, "
+            f"insts={self.instructions_issued}, "
+            f"detections={len(self.detections)})"
+        )
+
+
+class GPU:
+    """A simulated GPGPU chip with optional Warped-DMR."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        dmr: Optional[DMRConfig] = None,
+        fault_hook: Optional[FaultHook] = None,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+    ) -> None:
+        self.config = config or GPUConfig.paper_baseline()
+        self.dmr = dmr or DMRConfig.disabled()
+        self.fault_hook = fault_hook
+        self.max_cycles = max_cycles
+
+    def launch(
+        self,
+        program,
+        launch: LaunchConfig,
+        memory: Optional[GlobalMemory] = None,
+        issue_listener: Optional[Callable[[IssueEvent], None]] = None,
+        block_ids: Optional[List[int]] = None,
+        controller_factory: Optional[Callable] = None,
+    ) -> KernelResult:
+        """Run *program* over the launch grid and return merged results.
+
+        ``block_ids`` overrides the dispatched block list (default
+        ``range(grid_dim)``); repeating an id launches a redundant copy
+        of that block — the R-Thread baseline uses this.
+        ``controller_factory(stats) -> controller`` overrides the
+        per-SM DMR controller (the DMTR baseline uses this); when given
+        it is attached regardless of the DMRConfig.
+        """
+        # Late imports: the sim substrate must stay importable without
+        # the core (Warped-DMR) layer, which itself builds on sim.
+        from repro.core.dmr_controller import DMRController
+        from repro.core.mapping import lane_permutation
+
+        cfg = self.config
+        memory = memory or GlobalMemory()
+
+        mapping = self.dmr.mapping if self.dmr.enabled else MappingPolicy.IN_ORDER
+        lane_of_slot = lane_permutation(
+            mapping, cfg.warp_size, cfg.cluster_size
+        )
+
+        # Static round-robin block dispatch.
+        dispatch = list(block_ids) if block_ids is not None else list(
+            range(launch.grid_dim)
+        )
+        blocks_of_sm: List[List[int]] = [[] for _ in range(cfg.num_sms)]
+        for position, block_id in enumerate(dispatch):
+            blocks_of_sm[position % cfg.num_sms].append(block_id)
+
+        merged = StatSet()
+        per_sm_cycles: List[int] = []
+        detections: List = []
+        functional_verify = self.fault_hook is not None
+
+        for sm_id, block_ids in enumerate(blocks_of_sm):
+            if not block_ids:
+                continue
+            sm = SM(
+                sm_id=sm_id,
+                config=cfg,
+                program=program,
+                launch=launch,
+                block_ids=block_ids,
+                global_memory=memory,
+                lane_of_slot=lane_of_slot,
+                fault_hook=self.fault_hook,
+                max_cycles=self.max_cycles,
+            )
+            if controller_factory is not None:
+                sm.dmr = controller_factory(sm.stats)
+            elif self.dmr.enabled:
+                sm.dmr = DMRController(
+                    gpu_config=cfg,
+                    dmr_config=self.dmr,
+                    stats=sm.stats,
+                    functional_verify=functional_verify,
+                )
+            if issue_listener is not None:
+                sm.add_issue_listener(issue_listener)
+            sm.run()
+            per_sm_cycles.append(sm.cycle)
+            merged.merge(sm.stats)
+            if sm.dmr is not None:
+                detections.extend(sm.dmr.detections)
+
+        return KernelResult(
+            program_name=program.name,
+            cycles=max(per_sm_cycles) if per_sm_cycles else 0,
+            per_sm_cycles=per_sm_cycles,
+            stats=merged,
+            memory=memory,
+            detections=detections,
+            clock_period_ns=cfg.clock_period_ns,
+        )

@@ -1,0 +1,64 @@
+"""Warp schedulers.
+
+The paper's baseline SM has a single scheduler that issues one
+warp-instruction per cycle to one of the three execution-unit types
+(Section 2.2).  Two standard policies are provided: loose round-robin
+(the default) and greedy-then-oldest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.common.config import SchedulerPolicy
+from repro.sim.warp import Warp
+
+
+class WarpScheduler:
+    """Selects which ready warp issues next."""
+
+    def __init__(self, policy: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN):
+        self.policy = policy
+        self._last_index = -1
+        self._greedy_warp: Optional[int] = None
+
+    def select(self, warps: List[Warp], cycle: int,
+               is_ready: Callable[[Warp], bool]) -> Optional[Warp]:
+        """Pick the next warp to issue, or None when none is ready.
+
+        *is_ready* encapsulates scoreboard and structural checks beyond
+        the warp's own schedulability.
+        """
+        if not warps:
+            return None
+        if self.policy is SchedulerPolicy.GREEDY_THEN_OLDEST:
+            return self._select_gto(warps, cycle, is_ready)
+        return self._select_rr(warps, cycle, is_ready)
+
+    def _select_rr(self, warps: List[Warp], cycle: int,
+                   is_ready: Callable[[Warp], bool]) -> Optional[Warp]:
+        n = len(warps)
+        for step in range(1, n + 1):
+            idx = (self._last_index + step) % n
+            warp = warps[idx]
+            if warp.can_issue(cycle) and is_ready(warp):
+                self._last_index = idx
+                return warp
+        return None
+
+    def _select_gto(self, warps: List[Warp], cycle: int,
+                    is_ready: Callable[[Warp], bool]) -> Optional[Warp]:
+        # Greedy: stick with the last-issued warp while it stays ready.
+        if self._greedy_warp is not None:
+            for warp in warps:
+                if warp.warp_id == self._greedy_warp:
+                    if warp.can_issue(cycle) and is_ready(warp):
+                        return warp
+                    break
+        # Oldest: lowest warp id wins.
+        for warp in sorted(warps, key=lambda w: w.warp_id):
+            if warp.can_issue(cycle) and is_ready(warp):
+                self._greedy_warp = warp.warp_id
+                return warp
+        self._greedy_warp = None
+        return None

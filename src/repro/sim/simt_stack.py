@@ -1,0 +1,166 @@
+"""SIMT reconvergence stack.
+
+Implements the classic immediate-post-dominator (IPDOM) reconvergence
+scheme GPGPU-Sim uses and the paper assumes (Section 2.2): on a
+divergent branch the warp executes the not-taken side first, then the
+taken side, and both reconverge at the branch's immediate
+post-dominator.  The stack tracks ``(pc, reconvergence pc, active
+mask)`` entries over *logical thread slots* of the warp; mapping of
+thread slots to hardware lanes is a separate concern
+(:mod:`repro.core.mapping`).
+
+Invariants:
+
+* The warp always executes the top-of-stack entry.
+* A divergence parent keeps the union mask and waits at the
+  reconvergence PC; children pop when their PC reaches it.
+* Children are pushed taken-side first, so the not-taken side (top of
+  stack) executes first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.bitops import ActiveMask, count_active
+from repro.common.errors import SimulationError
+from repro.kernel.cfg import EXIT_NODE
+
+
+@dataclass
+class StackEntry:
+    """One divergence level: execute *mask* starting at *pc* until *rpc*.
+
+    ``rpc is None`` marks entries that never reconverge (the base entry,
+    and divergences whose paths only meet at thread exit); they are
+    removed only when their threads exit.
+    """
+
+    pc: int
+    rpc: Optional[int]
+    mask: ActiveMask
+
+
+class SIMTStack:
+    """Per-warp divergence stack."""
+
+    def __init__(self, initial_mask: ActiveMask, entry_pc: int = 0) -> None:
+        if initial_mask == 0:
+            raise SimulationError("warp created with no live threads")
+        self._entries: List[StackEntry] = [
+            StackEntry(pc=entry_pc, rpc=None, mask=initial_mask)
+        ]
+        self._live = initial_mask
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """All threads of the warp have exited."""
+        return self._live == 0
+
+    @property
+    def current_pc(self) -> int:
+        return self._top.pc
+
+    @property
+    def current_mask(self) -> ActiveMask:
+        return self._top.mask
+
+    @property
+    def live_mask(self) -> ActiveMask:
+        """Threads that have not executed EXIT yet."""
+        return self._live
+
+    @property
+    def depth(self) -> int:
+        return len(self._entries)
+
+    @property
+    def _top(self) -> StackEntry:
+        if not self._entries:
+            raise SimulationError("SIMT stack is empty but warp not done")
+        return self._entries[-1]
+
+    # -- state transitions ----------------------------------------------
+    def advance(self) -> None:
+        """Sequential flow: move TOS to the next PC, popping if it is the
+        reconvergence point."""
+        self._set_pc(self._top.pc + 1)
+
+    def jump(self, target: int) -> None:
+        """Uniform (non-divergent) jump of the whole TOS mask."""
+        self._set_pc(target)
+
+    def branch(self, taken_mask: ActiveMask, target: int,
+               fallthrough_pc: int, reconvergence_pc: int) -> None:
+        """Resolve a conditional branch executed by the TOS entry.
+
+        *taken_mask* must be a subset of the current mask.  Uniform
+        outcomes (all-taken / none-taken) do not push.  A
+        *reconvergence_pc* of :data:`EXIT_NODE` means the two paths only
+        meet at thread exit, so the TOS entry is split for good.
+        """
+        top = self._top
+        if taken_mask & ~top.mask:
+            raise SimulationError(
+                f"taken mask {taken_mask:#x} not a subset of active mask "
+                f"{top.mask:#x}"
+            )
+        not_taken = top.mask & ~taken_mask
+        if taken_mask == 0:
+            self._set_pc(fallthrough_pc)
+            return
+        if not_taken == 0:
+            self._set_pc(target)
+            return
+        if reconvergence_pc == EXIT_NODE:
+            self._entries.pop()
+            self._entries.append(StackEntry(target, None, taken_mask))
+            self._entries.append(StackEntry(fallthrough_pc, None, not_taken))
+            return
+        rpc = reconvergence_pc
+        top.pc = rpc  # parent waits at the reconvergence point
+        # A side whose first PC *is* the reconvergence point has nothing
+        # to execute before rejoining; the parent already carries it.
+        if target != rpc:
+            self._entries.append(StackEntry(target, rpc, taken_mask))
+        if fallthrough_pc != rpc:
+            self._entries.append(StackEntry(fallthrough_pc, rpc, not_taken))
+
+    def thread_exit(self, mask: ActiveMask) -> None:
+        """Threads in *mask* executed EXIT: remove them from every level."""
+        self._live &= ~mask
+        for entry in self._entries:
+            entry.mask &= ~mask
+        self._cascade()
+
+    # -- internals -------------------------------------------------------
+    def _set_pc(self, pc: int) -> None:
+        top = self._top
+        if top.rpc is not None and pc == top.rpc:
+            self._entries.pop()
+            self._cascade()
+            return
+        top.pc = pc
+
+    def _cascade(self) -> None:
+        """Pop exhausted entries: empty masks, and parents that were left
+        waiting at their own reconvergence PC (loop-divergence parents
+        whose children have all popped merge upward transitively)."""
+        while self._entries:
+            top = self._entries[-1]
+            if top.mask == 0:
+                self._entries.pop()
+                continue
+            if top.rpc is not None and top.pc == top.rpc:
+                self._entries.pop()
+                continue
+            break
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"(pc={e.pc}, rpc={e.rpc}, n={count_active(e.mask)})"
+            for e in self._entries
+        )
+        return f"SIMTStack[{entries}]"

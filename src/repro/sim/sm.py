@@ -1,0 +1,330 @@
+"""Streaming multiprocessor: the per-SM issue/timing loop.
+
+The SM model is issue-centric: each cycle the single warp scheduler
+issues at most one warp-instruction (paper Section 2.2).  Latencies are
+charged through the scoreboard (dependents wait for the producer's
+ready cycle) rather than by simulating every pipeline register, which
+matches the paper's abstraction: the EXE stage is super-pipelined so a
+new instruction can issue every cycle.
+
+Warped-DMR attaches through the ``dmr`` hook object (duck-typed; see
+:class:`repro.core.dmr_controller.DMRController`).  The hook can charge
+stall cycles, which the SM consumes as non-issue cycles — exactly how
+the paper's ReplayQ full/RAW stalls behave.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import GPUConfig, LaunchConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatSet
+from repro.isa.opcodes import Opcode, UnitType
+from repro.kernel.program import Program
+from repro.sim.events import IssueEvent
+from repro.sim.executor import ExecResult, Executor, FaultHook
+from repro.sim.memory import GlobalMemory
+from repro.sim.scheduler import WarpScheduler
+from repro.sim.warp import ThreadBlock, Warp
+
+#: Hard cap on SM cycles; hitting it means livelock (kernel bug).
+DEFAULT_MAX_CYCLES = 20_000_000
+
+
+class SM:
+    """One streaming multiprocessor executing a queue of thread blocks."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        program: Program,
+        launch: LaunchConfig,
+        block_ids: List[int],
+        global_memory: GlobalMemory,
+        lane_of_slot: List[int],
+        dmr: Optional[object] = None,
+        fault_hook: Optional[FaultHook] = None,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.program = program
+        self.launch = launch
+        self.global_memory = global_memory
+        self.lane_of_slot = lane_of_slot
+        self.dmr = dmr
+        self.max_cycles = max_cycles
+        self.executor = Executor(sm_id, global_memory, fault_hook)
+        self._schedulers = [
+            WarpScheduler(config.scheduler)
+            for _ in range(config.num_schedulers)
+        ]
+        self.stats = StatSet()
+        self.cycle = 0
+        self._stall_pending = 0
+        self._pending_blocks = list(block_ids)
+        self._resident_warps: List[Warp] = []
+        self._resident_blocks: List[ThreadBlock] = []
+        self._next_warp_id = 0
+        self._last_write_cycle: Dict[Tuple[int, int], int] = {}
+        self._unit_run: Tuple[Optional[UnitType], int] = (None, 0)
+        self._issue_listeners: List[Callable[[IssueEvent], None]] = []
+        self._num_regs = max(1, program.num_registers)
+        self._num_preds = max(1, program.num_predicates)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def add_issue_listener(self, fn: Callable[[IssueEvent], None]) -> None:
+        """Register a callback invoked on every issue (tracing hook)."""
+        self._issue_listeners.append(fn)
+
+    def _admit_blocks(self) -> None:
+        """Launch pending blocks while thread capacity allows."""
+        while self._pending_blocks:
+            threads_resident = sum(
+                b.block_dim for b in self._resident_blocks if not b.done
+            )
+            if (threads_resident + self.launch.block_dim
+                    > self.config.max_threads_per_sm):
+                break
+            block_id = self._pending_blocks.pop(0)
+            block = ThreadBlock(
+                block_id=block_id,
+                block_dim=self.launch.block_dim,
+                warp_size=self.config.warp_size,
+                shared_words=self.config.shared_memory_bytes // 4,
+            )
+            warps = []
+            for w in range(block.num_warps):
+                warp = Warp(
+                    warp_id=self._next_warp_id,
+                    block=block,
+                    warp_base=w * self.config.warp_size,
+                    warp_size=self.config.warp_size,
+                    num_registers=self._num_regs,
+                    num_predicates=self._num_preds,
+                    lane_of_slot=self.lane_of_slot,
+                    grid_dim=self.launch.grid_dim,
+                )
+                # Stagger first issue so resident warps sit at different
+                # program phases (see GPUConfig.warp_start_stagger).
+                warp.stalled_until = (
+                    self.cycle
+                    + len(self._resident_warps + warps)
+                    * self.config.warp_start_stagger
+                )
+                self._next_warp_id += 1
+                warps.append(warp)
+            block.attach_warps(warps)
+            self._resident_blocks.append(block)
+            self._resident_warps.extend(warps)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> StatSet:
+        """Execute every assigned block to completion; returns the stats."""
+        self._admit_blocks()
+        while self._has_work():
+            self._tick()
+            if self.cycle > self.max_cycles:
+                raise SimulationError(
+                    f"SM {self.sm_id} exceeded {self.max_cycles} cycles; "
+                    "likely a livelocked kernel (barrier divergence or "
+                    "non-terminating loop)"
+                )
+        if self.dmr is not None:
+            flush = self.dmr.on_kernel_end(self.cycle)
+            self._account_stall(flush)
+            self.cycle += flush
+        self.stats.counter("cycles_total").value = self.cycle
+        return self.stats
+
+    def _has_work(self) -> bool:
+        if self._pending_blocks:
+            return True
+        return any(not warp.done for warp in self._resident_warps)
+
+    def _retire_finished(self) -> None:
+        before = len(self._resident_warps)
+        self._resident_warps = [w for w in self._resident_warps if not w.done]
+        self._resident_blocks = [b for b in self._resident_blocks if not b.done]
+        if len(self._resident_warps) != before:
+            self._admit_blocks()
+
+    def _tick(self) -> None:
+        cycle = self.cycle
+        self.cycle += 1
+
+        if self._stall_pending > 0:
+            self._stall_pending -= 1
+            self.stats.bump("cycles_dmr_stall")
+            return
+
+        issued = 0
+        raw_stalled = False
+        issued_units: List[UnitType] = []
+        for index, scheduler in enumerate(self._schedulers):
+            warps = self._warps_of_scheduler(index)
+            warp = scheduler.select(
+                warps, cycle, self._scoreboard_ready(cycle)
+            )
+            if warp is None:
+                continue
+            inst = self.program[warp.pc]
+            # Dual-scheduler structural hazard: LD/ST units and SFUs
+            # are shared between the schedulers (paper Section 2.2);
+            # each scheduler has its own SPs.
+            if inst.unit is not UnitType.SP and inst.unit in issued_units:
+                self.stats.bump("dual_issue_conflicts")
+                continue
+            if self.dmr is not None:
+                raw_stall = self.dmr.check_raw(warp.warp_id, inst)
+                if raw_stall > 0:
+                    # this tick absorbs one stall cycle if nothing
+                    # issued yet; the remainder burns on later ticks
+                    self._stall_pending += raw_stall - (0 if issued else 1)
+                    if not issued:
+                        self.stats.bump("cycles_dmr_stall")
+                        raw_stalled = True
+                    self.stats.bump("raw_unverified_stalls")
+                    break  # the verification stall blocks the pipeline
+            self._issue(warp, inst, cycle)
+            issued += 1
+            issued_units.append(inst.unit)
+
+        if issued == 0 and not raw_stalled:
+            self.stats.bump("cycles_idle")
+            if self.dmr is not None:
+                self.dmr.on_idle(cycle)
+        elif issued == 2:
+            self.stats.bump("dual_issue_cycles")
+        self._retire_finished()
+
+    def _warps_of_scheduler(self, index: int) -> List[Warp]:
+        """Warps served by scheduler *index* (parity split when dual)."""
+        if len(self._schedulers) == 1:
+            return self._resident_warps
+        return [
+            warp for warp in self._resident_warps
+            if warp.warp_id % 2 == index
+        ]
+
+    def _issue(self, warp: Warp, inst, cycle: int) -> None:
+        result = self.executor.execute(warp, inst, warp.pc, cycle)
+        self._apply_control(warp, inst, result)
+        self._charge_latency(warp, inst, cycle)
+        self._record_stats(result.event, cycle)
+        if self.config.model_bank_conflicts:
+            from repro.sim.regbank import conflict_extra_cycles
+            extra = conflict_extra_cycles(inst)
+            if extra:
+                self._stall_pending += extra
+                self.stats.bump("bank_conflict_cycles", extra)
+        if self.dmr is not None:
+            stall = self.dmr.on_issue(result.event, self.executor)
+            if stall:
+                self._stall_pending += stall
+
+    # ------------------------------------------------------------------
+    # Issue mechanics
+    # ------------------------------------------------------------------
+    def _scoreboard_ready(self, cycle: int):
+        program = self.program
+
+        def ready(warp: Warp) -> bool:
+            inst = program[warp.pc]
+            src_preds = [p for p in (inst.pred, inst.psrc) if p is not None]
+            ready_cycle = warp.scoreboard.ready_cycle(
+                inst.source_registers(), inst.dest_register(),
+                src_preds, inst.pdst,
+            )
+            return ready_cycle <= cycle
+
+        return ready
+
+    def _unit_latency(self, inst) -> int:
+        cfg = self.config
+        if inst.unit is UnitType.SFU:
+            return cfg.sfu_latency
+        if inst.unit is UnitType.LDST:
+            if inst.opcode in (Opcode.LD_SHARED, Opcode.ST_SHARED):
+                return cfg.ldst_shared_latency
+            return cfg.ldst_global_latency
+        return cfg.sp_latency
+
+    def _charge_latency(self, warp: Warp, inst, cycle: int) -> None:
+        latency = self._unit_latency(inst)
+        ready = cycle + self.config.rf_latency + latency
+        dest = inst.dest_register()
+        if dest is not None:
+            warp.scoreboard.mark_reg_write(dest, ready)
+        if inst.pdst is not None:
+            warp.scoreboard.mark_pred_write(inst.pdst, ready)
+        if (cycle & 0x3FF) == 0:
+            warp.scoreboard.prune(cycle)
+
+    def _apply_control(self, warp: Warp, inst, result: ExecResult) -> None:
+        control = result.control
+        if control.kind == "advance":
+            warp.stack.advance()
+        elif control.kind == "jump":
+            warp.stack.jump(control.target)
+        elif control.kind == "branch":
+            reconv = self.program.reconvergence.get(result.event.pc, -1)
+            warp.stack.branch(
+                control.taken_mask, control.target,
+                result.event.pc + 1, reconv,
+            )
+            if control.taken_mask and control.taken_mask != result.event.logical_mask:
+                self.stats.bump("divergent_branches")
+        elif control.kind == "exit":
+            warp.stack.thread_exit(control.exit_mask)
+        elif control.kind == "barrier":
+            warp.stack.advance()
+            warp.block.arrive_at_barrier(warp)
+        else:
+            raise SimulationError(f"unknown control outcome {control.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _record_stats(self, event: IssueEvent, cycle: int) -> None:
+        stats = self.stats
+        stats.bump("instructions_issued")
+        stats.bump("thread_instructions", event.active_count)
+        stats.histogram("active_threads").add(event.active_count)
+        stats.histogram("unit_type").add(event.unit.value)
+
+        # Same-unit run lengths (Fig 8a): record the finished run when
+        # the unit type switches.
+        prev_unit, run = self._unit_run
+        if prev_unit is event.unit:
+            self._unit_run = (prev_unit, run + 1)
+        else:
+            if prev_unit is not None and run > 0:
+                stats.histogram(f"unit_run_{prev_unit.value}").add(run)
+            self._unit_run = (event.unit, 1)
+
+        # RAW distances (Fig 8b): cycles from a register's write to its
+        # next read by any consumer in the same warp.
+        inst = event.instruction
+        for reg in inst.source_registers():
+            key = (event.warp_id, reg)
+            write_cycle = self._last_write_cycle.get(key)
+            if write_cycle is not None:
+                stats.histogram("raw_distance").add(cycle - write_cycle)
+        dest = inst.dest_register()
+        if dest is not None:
+            self._last_write_cycle[(event.warp_id, dest)] = cycle
+
+        for listener in self._issue_listeners:
+            listener(event)
+
+    def _account_stall(self, cycles: int) -> None:
+        if cycles:
+            self.stats.counter("cycles_dmr_stall").add(cycles)
+            self.stats.counter("replayq_flush_cycles").add(cycles)

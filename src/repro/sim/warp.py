@@ -1,0 +1,170 @@
+"""Warp and thread-block state.
+
+A :class:`Warp` owns the architectural state of its 32 threads: general
+registers, predicate registers, the SIMT reconvergence stack, and the
+logical-thread-slot to hardware-lane mapping installed by the
+thread-to-core mapping policy (paper Section 4.2).
+
+Logical slot ``j`` of a warp is thread ``warp_base + j`` of its block.
+The SIMT stack and all functional state are indexed by logical slot; the
+hardware lane only matters to Warped-DMR (cluster pairing, fault sites),
+so the mapping is a pure permutation applied when building hw masks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.common.bitops import ActiveMask, full_mask, iter_active_lanes
+from repro.common.errors import SimulationError
+from repro.sim.scoreboard import Scoreboard
+from repro.sim.simt_stack import SIMTStack
+
+
+class ThreadBlock:
+    """One CUDA thread block resident on an SM."""
+
+    def __init__(self, block_id: int, block_dim: int, warp_size: int,
+                 shared_words: int) -> None:
+        from repro.sim.memory import SharedMemory  # local import: cycle-free
+
+        self.block_id = block_id
+        self.block_dim = block_dim
+        self.warp_size = warp_size
+        self.shared = SharedMemory(shared_words)
+        self.num_warps = -(-block_dim // warp_size)
+        self._barrier_arrived = 0
+        self._barrier_waiting: List["Warp"] = []
+
+    # -- barrier ---------------------------------------------------------
+    def arrive_at_barrier(self, warp: "Warp") -> bool:
+        """Register *warp* at the block barrier.
+
+        Returns True when this arrival completes the barrier (all live
+        warps arrived), in which case every waiting warp is released.
+        """
+        self._barrier_arrived += 1
+        self._barrier_waiting.append(warp)
+        live_warps = sum(1 for w in self.warps if not w.done)
+        if self._barrier_arrived >= live_warps:
+            for waiting in self._barrier_waiting:
+                waiting.barrier_blocked = False
+            self._barrier_arrived = 0
+            self._barrier_waiting = []
+            return True
+        warp.barrier_blocked = True
+        return False
+
+    @property
+    def warps(self) -> Sequence["Warp"]:
+        return self._warps
+
+    def attach_warps(self, warps: Sequence["Warp"]) -> None:
+        self._warps = list(warps)
+
+    @property
+    def done(self) -> bool:
+        return all(warp.done for warp in self._warps)
+
+
+class Warp:
+    """Architectural state of one warp."""
+
+    def __init__(
+        self,
+        warp_id: int,
+        block: ThreadBlock,
+        warp_base: int,
+        warp_size: int,
+        num_registers: int,
+        num_predicates: int,
+        lane_of_slot: Sequence[int],
+        grid_dim: int,
+    ) -> None:
+        self.warp_id = warp_id
+        self.block = block
+        self.warp_base = warp_base  # first thread index (within block)
+        self.warp_size = warp_size
+        self.grid_dim = grid_dim
+        live_threads = min(warp_size, block.block_dim - warp_base)
+        if live_threads <= 0:
+            raise SimulationError(
+                f"warp {warp_id} has no threads (base {warp_base}, "
+                f"block dim {block.block_dim})"
+            )
+        self.live_slots = live_threads
+        self.stack = SIMTStack(full_mask(live_threads))
+        self.scoreboard = Scoreboard()
+        self.barrier_blocked = False
+        self.stalled_until = 0  # cycle before which the warp cannot issue
+
+        # lane mapping: logical slot -> hw lane, and its inverse
+        if sorted(lane_of_slot) != list(range(warp_size)):
+            raise SimulationError("lane mapping must be a permutation")
+        self.lane_of_slot = list(lane_of_slot)
+        self.slot_of_lane = [0] * warp_size
+        for slot, lane in enumerate(self.lane_of_slot):
+            self.slot_of_lane[lane] = slot
+
+        # architectural registers, indexed [slot][reg]
+        self.regs: List[List[object]] = [
+            [0] * num_registers for _ in range(live_threads)
+        ]
+        self.preds: List[List[bool]] = [
+            [False] * num_predicates for _ in range(live_threads)
+        ]
+
+    # -- identity --------------------------------------------------------
+    def tid(self, slot: int) -> int:
+        """Thread index within the block for logical slot *slot*."""
+        return self.warp_base + slot
+
+    def gtid(self, slot: int) -> int:
+        """Global thread index for logical slot *slot*."""
+        return self.block.block_id * self.block.block_dim + self.tid(slot)
+
+    # -- masks -------------------------------------------------------------
+    def hw_mask(self, logical_mask: ActiveMask) -> ActiveMask:
+        """Permute a logical-slot mask into hardware-lane space."""
+        mask = 0
+        for slot in iter_active_lanes(logical_mask, self.live_slots):
+            mask |= 1 << self.lane_of_slot[slot]
+        return mask
+
+    @property
+    def done(self) -> bool:
+        return self.stack.done
+
+    @property
+    def active_mask(self) -> ActiveMask:
+        """Current logical active mask (empty when done)."""
+        return 0 if self.done else self.stack.current_mask
+
+    @property
+    def pc(self) -> int:
+        return self.stack.current_pc
+
+    def can_issue(self, cycle: int) -> bool:
+        """Whether the warp is schedulable this cycle (ignoring hazards)."""
+        return (not self.done and not self.barrier_blocked
+                and cycle >= self.stalled_until)
+
+    # -- register access -----------------------------------------------------
+    def read_reg(self, slot: int, reg: int) -> object:
+        return self.regs[slot][reg]
+
+    def write_reg(self, slot: int, reg: int, value: object) -> None:
+        self.regs[slot][reg] = value
+
+    def read_pred(self, slot: int, pred: int) -> bool:
+        return self.preds[slot][pred]
+
+    def write_pred(self, slot: int, pred: int, value: bool) -> None:
+        self.preds[slot][pred] = value
+
+    def __repr__(self) -> str:
+        return (
+            f"Warp(id={self.warp_id}, block={self.block.block_id}, "
+            f"pc={'done' if self.done else self.pc}, "
+            f"stack={self.stack!r})"
+        )

@@ -1,0 +1,86 @@
+"""The paper's workload suite (Table 4), as mini-ISA kernels.
+
+Every benchmark from the evaluation is implemented at reduced scale:
+
+========== ============================= ==========================
+registry    paper benchmark               character it reproduces
+========== ============================= ==========================
+bfs         Parboil BFS                   extreme divergence (1-thread warps)
+nqueen      NQueen                        data-dependent backtracking divergence
+mum         MUMmer (string matching)      early-exit loop divergence
+scan        CUDA SDK Scan Array           log-step shrinking masks
+bitonic     CUDA SDK Bitonic Sort         half-warp compare-exchange masks
+laplace     Laplace solver                full FP stencil + boundary idles
+matrixmul   CUDA SDK Matrix Multiply      full warps, FFMA bursts
+radixsort   CUDA SDK Radix Sort           integer scan/scatter passes
+sha         ERCBench SHA                  long integer SP bursts
+libor       Libor market model            SFU-heavy full warps
+cufft       CUFFT (radix-2 FFT)           high-utilization butterflies
+========== ============================= ==========================
+
+Use :func:`get_workload` / :func:`all_workloads`; :data:`PAPER_ORDER`
+matches the figure x-axes.
+"""
+
+from typing import Dict, List
+
+from repro.workloads.base import TransferSpec, Workload, WorkloadRun
+from repro.workloads.bfs import BFSWorkload
+from repro.workloads.bitonic import BitonicSortWorkload
+from repro.workloads.cufft import CUFFTWorkload
+from repro.workloads.laplace import LaplaceWorkload
+from repro.workloads.libor import LiborWorkload
+from repro.workloads.matmul import MatrixMulWorkload
+from repro.workloads.mum import MUMWorkload
+from repro.workloads.nqueen import NQueenWorkload
+from repro.workloads.radixsort import RadixSortWorkload
+from repro.workloads.scan import ScanWorkload
+from repro.workloads.sha import SHAWorkload
+
+_WORKLOADS: Dict[str, Workload] = {
+    cls.name: cls()
+    for cls in (
+        BFSWorkload,
+        NQueenWorkload,
+        MUMWorkload,
+        ScanWorkload,
+        BitonicSortWorkload,
+        LaplaceWorkload,
+        MatrixMulWorkload,
+        RadixSortWorkload,
+        SHAWorkload,
+        LiborWorkload,
+        CUFFTWorkload,
+    )
+}
+
+#: Figure 1's x-axis ordering.
+PAPER_ORDER: List[str] = [
+    "bfs", "nqueen", "mum", "scan", "bitonic", "laplace",
+    "matrixmul", "radixsort", "sha", "libor", "cufft",
+]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by registry name (see :data:`PAPER_ORDER`)."""
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_WORKLOADS)}"
+        ) from None
+
+
+def all_workloads() -> Dict[str, Workload]:
+    """Name -> workload instance, in paper order."""
+    return {name: _WORKLOADS[name] for name in PAPER_ORDER}
+
+
+__all__ = [
+    "PAPER_ORDER",
+    "TransferSpec",
+    "Workload",
+    "WorkloadRun",
+    "all_workloads",
+    "get_workload",
+]

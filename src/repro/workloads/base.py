@@ -1,0 +1,87 @@
+"""Workload framework.
+
+Each paper benchmark (Table 4) is a :class:`Workload` that knows how to
+build its kernel, lay out and initialize device memory, describe its
+host<->device transfer volume, and verify its own output against a host
+(pure-Python/numpy) reference.  ``scale`` shrinks problem sizes so unit
+tests stay fast; ``prepare()`` with defaults gives the evaluation-sized
+instance.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.common.config import LaunchConfig
+from repro.kernel.program import Program
+from repro.sim.memory import GlobalMemory
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """Host<->device traffic of one kernel invocation (Fig 10 model)."""
+
+    input_bytes: int
+    output_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.input_bytes + self.output_bytes
+
+
+@dataclass
+class WorkloadRun:
+    """A fully prepared, launchable workload instance."""
+
+    program: Program
+    launch: LaunchConfig
+    memory: GlobalMemory
+    transfer: TransferSpec
+    check: Callable[[GlobalMemory], None]
+    output_of: Callable[[GlobalMemory], Sequence]
+
+
+class Workload(abc.ABC):
+    """One benchmark: kernel + data + reference checker."""
+
+    #: registry key, e.g. ``"bfs"``
+    name: str = ""
+    #: display name matching the paper's figures, e.g. ``"BFS"``
+    display_name: str = ""
+    #: paper Table 4 category
+    category: str = ""
+    #: paper Table 4 launch parameters, for documentation
+    paper_params: str = ""
+
+    @abc.abstractmethod
+    def prepare(self, scale: float = 1.0, seed: int = 0) -> WorkloadRun:
+        """Build a launchable instance.
+
+        ``scale`` in (0, 1] shrinks the problem (1.0 = evaluation size);
+        ``seed`` drives input-data generation deterministically.
+        """
+
+    @staticmethod
+    def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+        """Scale an integral size, clamping to *minimum*."""
+        return max(minimum, int(round(value * scale)))
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.name}>"
+
+
+def words_bytes(words: int) -> int:
+    """Byte volume of *words* 32-bit words (transfer accounting)."""
+    return 4 * words
+
+
+def as_float_list(values) -> List[float]:
+    """Coerce a numpy array / iterable to plain Python floats."""
+    return [float(v) for v in values]
+
+
+def as_int_list(values) -> List[int]:
+    """Coerce a numpy array / iterable to plain Python ints."""
+    return [int(v) for v in values]

@@ -1,0 +1,161 @@
+"""Structural tests for the experiment drivers (one per paper figure).
+
+These run at reduced scale on a small chip — they verify the drivers'
+data contracts and internal consistency; the *shape* claims against the
+paper live in tests/integration/test_paper_claims.py and the full
+regeneration in benchmarks/.
+"""
+
+import pytest
+
+from repro.analysis.active_threads import (
+    BINS,
+    active_thread_breakdown,
+    format_figure1,
+    run_figure1,
+)
+from repro.analysis.approaches import (
+    format_figure10,
+    normalized_totals,
+    run_figure10,
+)
+from repro.analysis.coverage_sweep import (
+    CONFIG_LABELS,
+    format_figure9a,
+    run_figure9a,
+)
+from repro.analysis.inst_mix import format_figure5, run_figure5, unit_mix
+from repro.analysis.overhead_sweep import (
+    REPLAYQ_SIZES,
+    format_figure9b,
+    run_figure9b,
+)
+from repro.analysis.power_energy import format_figure11, run_figure11
+from repro.analysis.raw_distance import format_figure8b, run_figure8b
+from repro.analysis.report import format_table
+from repro.analysis.runner import SuiteRunner, experiment_config
+from repro.analysis.switching import format_figure8a, run_figure8a
+from repro.common.config import DMRConfig
+from repro.workloads import PAPER_ORDER
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(experiment_config(num_sms=2), scale=0.25)
+
+
+class TestRunner:
+    def test_caching_returns_same_object(self, runner):
+        assert runner.baseline("scan") is runner.baseline("scan")
+
+    def test_different_configs_not_conflated(self, runner):
+        base = runner.baseline("scan")
+        dmr = runner.run("scan", DMRConfig.paper_default())
+        assert base is not dmr
+
+    def test_experiment_config_defaults(self):
+        config = experiment_config()
+        assert config.num_sms == 2
+        assert config.warp_size == 32
+
+
+class TestFigure1(object):
+    def test_fractions_sum_to_one(self, runner):
+        data = run_figure1(runner)
+        for name, bins in data.items():
+            assert abs(sum(bins.values()) - 1.0) < 1e-9, name
+
+    def test_all_workloads_present(self, runner):
+        assert list(run_figure1(runner)) == PAPER_ORDER
+
+    def test_bins_match_figure_legend(self):
+        assert [label for label, _, _ in BINS] == \
+            ["1", "2-11", "12-21", "22-31", "32"]
+
+    def test_format_renders_all_rows(self, runner):
+        text = format_figure1(run_figure1(runner))
+        for name in PAPER_ORDER:
+            assert name in text
+
+
+class TestFigure5:
+    def test_mix_sums_to_one(self, runner):
+        for name, mix in run_figure5(runner).items():
+            assert abs(sum(mix.values()) - 1.0) < 1e-9, name
+
+    def test_format(self, runner):
+        assert "SP" in format_figure5(run_figure5(runner))
+
+
+class TestFigure8:
+    def test_switching_nonnegative(self, runner):
+        for name, per_unit in run_figure8a(runner).items():
+            for unit, stats in per_unit.items():
+                assert stats["mean"] >= 0
+                assert stats["max"] >= stats["mean"] >= 0
+
+    def test_raw_distance_stats_consistent(self, runner):
+        for name, stats in run_figure8b(runner).items():
+            assert stats["min"] <= stats["median"]
+            assert 0 <= stats["frac_gt_100"] <= 1
+
+    def test_formats(self, runner):
+        assert "run lengths" in format_figure8a(run_figure8a(runner))
+        assert "RAW" in format_figure8b(run_figure8b(runner))
+
+
+class TestFigure9a:
+    def test_three_configs_plus_average(self, runner):
+        data = run_figure9a(runner)
+        assert set(data) == set(PAPER_ORDER) | {"average"}
+        for per in data.values():
+            assert set(per) == set(CONFIG_LABELS)
+            for value in per.values():
+                assert 0 <= value <= 100
+
+    def test_format(self, runner):
+        assert "coverage" in format_figure9a(run_figure9a(runner))
+
+
+class TestFigure9b:
+    def test_sizes_and_normalization(self, runner):
+        data = run_figure9b(runner)
+        assert REPLAYQ_SIZES == [0, 1, 5, 10]
+        for name, per in data.items():
+            for size in REPLAYQ_SIZES:
+                assert per[size] > 0.5  # sane normalized cycles
+
+    def test_format(self, runner):
+        assert "ReplayQ" in format_figure9b(run_figure9b(runner))
+
+
+class TestFigure10:
+    def test_original_normalizes_to_one(self, runner):
+        norm = normalized_totals(run_figure10(runner))
+        for name, per in norm.items():
+            assert per["original"] == pytest.approx(1.0)
+
+    def test_format(self, runner):
+        assert "kernel + transfer" in format_figure10(run_figure10(runner))
+
+
+class TestFigure11:
+    def test_ratios_reasonable(self, runner):
+        data = run_figure11(runner)
+        for name, ratios in data.items():
+            assert 0.9 < ratios["power"] < 2.0
+            assert 0.9 < ratios["energy"] < 2.5
+
+    def test_format(self, runner):
+        assert "power" in format_figure11(run_figure11(runner))
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.500" in text

@@ -1,0 +1,100 @@
+"""Scheme comparison tests (Figure 10 building blocks)."""
+
+import pytest
+
+from repro.baselines.schemes import (
+    SCHEME_ORDER,
+    compare_schemes,
+    make_scheme,
+)
+from repro.common.config import GPUConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def scan_results():
+    """All five schemes on scan with real per-SM occupancy (several
+    warps per SM) — at tiny scales the pipeline is idle-dominated and
+    every redundancy scheme hides for free.  Module-scoped: the
+    simulations dominate this file's runtime."""
+    return compare_schemes(
+        get_workload("scan"), GPUConfig.small(2), scale=1.0
+    )
+
+
+class TestSchemeMechanics:
+    def test_all_schemes_present(self, scan_results):
+        assert set(scan_results) == set(SCHEME_ORDER)
+
+    def test_rnaive_doubles_kernel_and_transfers(self, scan_results):
+        original = scan_results["original"]
+        rnaive = scan_results["r-naive"]
+        assert rnaive.kernel_cycles == 2 * original.kernel_cycles
+        assert rnaive.transfer_time_s == pytest.approx(
+            2 * original.transfer_time_s
+        )
+
+    def test_rthread_doubles_output_transfer_only(self, scan_results):
+        original = scan_results["original"]
+        rthread = scan_results["r-thread"]
+        assert original.transfer_time_s < rthread.transfer_time_s \
+            < 2 * original.transfer_time_s + 1e-12
+        # duplicated blocks mean more kernel work than the original
+        assert rthread.kernel_cycles > original.kernel_cycles
+
+    def test_dmtr_roughly_doubles_kernel(self, scan_results):
+        original = scan_results["original"]
+        dmtr = scan_results["dmtr"]
+        assert dmtr.kernel_cycles > 1.5 * original.kernel_cycles
+        assert dmtr.transfer_time_s == original.transfer_time_s
+
+    def test_warped_dmr_cheapest_detection_scheme(self, scan_results):
+        """The paper's Figure 10 ordering: Warped-DMR beats every other
+        detection scheme end-to-end."""
+        warped = scan_results["warped-dmr"].total_time_s
+        for other in ("r-naive", "r-thread", "dmtr"):
+            assert warped < scan_results[other].total_time_s
+
+    def test_rnaive_slowest(self, scan_results):
+        rnaive = scan_results["r-naive"].total_time_s
+        for other in SCHEME_ORDER:
+            if other != "r-naive":
+                assert rnaive >= scan_results[other].total_time_s
+
+    def test_total_is_kernel_plus_transfer(self, scan_results):
+        for result in scan_results.values():
+            assert result.total_time_s == pytest.approx(
+                result.kernel_time_s + result.transfer_time_s
+            )
+
+
+class TestRThreadHiding:
+    def test_redundant_blocks_hide_on_idle_sms(self):
+        """Paper: Bitonic Sort's R-Thread cost hides because idle SMs
+        absorb the duplicated blocks."""
+        workload = get_workload("bitonic")
+        # bitonic at this scale launches 2 blocks; a 4-SM chip has room
+        roomy = compare_schemes(
+            workload, GPUConfig.small(4), scale=0.5,
+            schemes=["original", "r-thread"],
+        )
+        slack = roomy["r-thread"].kernel_cycles / roomy["original"].kernel_cycles
+        # and on a 1-SM chip the duplicate stacks on the same SM
+        cramped = compare_schemes(
+            workload, GPUConfig.small(1), scale=0.5,
+            schemes=["original", "r-thread"],
+        )
+        stacked = (cramped["r-thread"].kernel_cycles
+                   / cramped["original"].kernel_cycles)
+        assert slack < stacked
+        assert slack == pytest.approx(1.0, abs=0.25)
+
+
+class TestFactory:
+    def test_make_scheme_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_scheme("nonsense", GPUConfig.small(1))
+
+    def test_scheme_names_match_registry(self):
+        for name in SCHEME_ORDER:
+            assert make_scheme(name, GPUConfig.small(1)).name == name

@@ -1,0 +1,39 @@
+"""Unit tests for the transfer model."""
+
+import pytest
+
+from repro.baselines.transfer import TransferModel
+from repro.common.config import TransferConfig
+from repro.workloads.base import TransferSpec
+
+
+class TestTransferModel:
+    def test_single_copy(self):
+        model = TransferModel(TransferConfig(
+            bandwidth_bytes_per_s=1e9, latency_s=1e-6,
+        ))
+        spec = TransferSpec(input_bytes=1_000_000, output_bytes=0)
+        assert model.time_s(spec) == pytest.approx(1e-6 + 1e-3)
+
+    def test_copies_scale_linearly(self):
+        model = TransferModel()
+        spec = TransferSpec(input_bytes=4096, output_bytes=4096)
+        once = model.time_s(spec)
+        doubled_in = model.time_s(spec, input_copies=2)
+        doubled_both = model.time_s(spec, input_copies=2, output_copies=2)
+        assert doubled_both == pytest.approx(2 * once)
+        assert once < doubled_in < doubled_both
+
+    def test_zero_copies(self):
+        model = TransferModel()
+        spec = TransferSpec(input_bytes=4096, output_bytes=4096)
+        assert model.time_s(spec, input_copies=0, output_copies=0) == 0.0
+
+    def test_negative_copies_rejected(self):
+        model = TransferModel()
+        spec = TransferSpec(input_bytes=1, output_bytes=1)
+        with pytest.raises(ValueError):
+            model.time_s(spec, input_copies=-1)
+
+    def test_spec_total(self):
+        assert TransferSpec(10, 20).total_bytes == 30

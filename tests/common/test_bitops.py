@@ -1,0 +1,102 @@
+"""Unit tests for active-mask bit utilities."""
+
+import pytest
+
+from repro.common.bitops import (
+    count_active,
+    first_active_lane,
+    full_mask,
+    is_lane_active,
+    iter_active_lanes,
+    iter_inactive_lanes,
+    lane_slice,
+    mask_from_lanes,
+    popcount_below,
+)
+
+
+class TestFullMask:
+    def test_zero_width(self):
+        assert full_mask(0) == 0
+
+    def test_warp_width(self):
+        assert full_mask(32) == 0xFFFFFFFF
+
+    def test_cluster_width(self):
+        assert full_mask(4) == 0b1111
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            full_mask(-1)
+
+
+class TestMaskFromLanes:
+    def test_empty(self):
+        assert mask_from_lanes([]) == 0
+
+    def test_single(self):
+        assert mask_from_lanes([5]) == 0b100000
+
+    def test_multiple(self):
+        assert mask_from_lanes([0, 2, 31]) == (1 | 4 | (1 << 31))
+
+    def test_duplicates_idempotent(self):
+        assert mask_from_lanes([3, 3, 3]) == 0b1000
+
+    def test_negative_lane_rejected(self):
+        with pytest.raises(ValueError):
+            mask_from_lanes([-1])
+
+
+class TestCountAndFind:
+    def test_count_empty(self):
+        assert count_active(0) == 0
+
+    def test_count_full_warp(self):
+        assert count_active(full_mask(32)) == 32
+
+    def test_count_sparse(self):
+        assert count_active(0b1010101) == 4
+
+    def test_first_active_empty(self):
+        assert first_active_lane(0) == -1
+
+    def test_first_active_lowest(self):
+        assert first_active_lane(0b1100) == 2
+
+    def test_is_lane_active(self):
+        mask = 0b0110
+        assert not is_lane_active(mask, 0)
+        assert is_lane_active(mask, 1)
+        assert is_lane_active(mask, 2)
+        assert not is_lane_active(mask, 3)
+
+
+class TestIteration:
+    def test_active_lanes_order(self):
+        assert list(iter_active_lanes(0b10110, 5)) == [1, 2, 4]
+
+    def test_inactive_lanes_complement(self):
+        mask = 0b10110
+        active = set(iter_active_lanes(mask, 5))
+        inactive = set(iter_inactive_lanes(mask, 5))
+        assert active | inactive == set(range(5))
+        assert not active & inactive
+
+    def test_width_bounds_iteration(self):
+        # lanes beyond the width are ignored even if set
+        assert list(iter_active_lanes(0b111100, 3)) == [2]
+
+
+class TestSliceAndRank:
+    def test_lane_slice_middle(self):
+        assert lane_slice(0b11110011, start=4, width=4) == 0b1111
+
+    def test_lane_slice_low(self):
+        assert lane_slice(0b11110011, start=0, width=4) == 0b0011
+
+    def test_popcount_below(self):
+        mask = 0b101101
+        assert popcount_below(mask, 0) == 0
+        assert popcount_below(mask, 3) == 2
+        assert popcount_below(mask, 6) == 4

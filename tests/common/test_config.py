@@ -1,0 +1,129 @@
+"""Unit tests for configuration dataclasses (paper Table 3 values)."""
+
+import pytest
+
+from repro.common.config import (
+    DMRConfig,
+    GPUConfig,
+    LaunchConfig,
+    MappingPolicy,
+    TransferConfig,
+)
+from repro.common.errors import ConfigError
+
+
+class TestGPUConfigPaperBaseline:
+    """Table 3: the exact simulation parameters."""
+
+    def test_30_sms(self):
+        assert GPUConfig.paper_baseline().num_sms == 30
+
+    def test_warp_size_32(self):
+        assert GPUConfig.paper_baseline().warp_size == 32
+
+    def test_32_wide_simt(self):
+        assert GPUConfig.paper_baseline().simt_width == 32
+
+    def test_1024_threads_per_sm(self):
+        assert GPUConfig.paper_baseline().max_threads_per_sm == 1024
+
+    def test_32_register_banks(self):
+        assert GPUConfig.paper_baseline().num_register_banks == 32
+
+    def test_64kb_register_file(self):
+        assert GPUConfig.paper_baseline().register_file_bytes == 64 * 1024
+
+    def test_eight_clusters_per_warp(self):
+        assert GPUConfig.paper_baseline().clusters_per_warp == 8
+
+    def test_32_warps_per_sm(self):
+        assert GPUConfig.paper_baseline().max_warps_per_sm == 32
+
+    def test_800mhz_clock(self):
+        assert GPUConfig.paper_baseline().clock_period_ns == 1.25
+
+
+class TestGPUConfigValidation:
+    def test_cluster_must_divide_warp(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(cluster_size=5)
+
+    def test_zero_sms_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(num_sms=0)
+
+    def test_threads_must_be_warp_multiple(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(max_threads_per_sm=1000)
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(sp_latency=0)
+
+    def test_negative_stagger_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(warp_start_stagger=-1)
+
+    def test_with_cluster_size(self):
+        cfg = GPUConfig.paper_baseline().with_cluster_size(8)
+        assert cfg.cluster_size == 8
+        assert cfg.clusters_per_warp == 4
+
+    def test_to_dict_roundtrips_values(self):
+        d = GPUConfig.paper_baseline().to_dict()
+        assert d["num_sms"] == 30
+        assert d["scheduler"] == "rr"
+
+
+class TestDMRConfig:
+    def test_paper_default(self):
+        dmr = DMRConfig.paper_default()
+        assert dmr.enabled
+        assert dmr.replayq_entries == 10
+        assert dmr.mapping is MappingPolicy.CROSS
+        assert dmr.lane_shuffle
+
+    def test_disabled(self):
+        assert not DMRConfig.disabled().enabled
+
+    def test_negative_replayq_rejected(self):
+        with pytest.raises(ConfigError):
+            DMRConfig(replayq_entries=-1)
+
+    def test_with_replayq(self):
+        assert DMRConfig.paper_default().with_replayq(5).replayq_entries == 5
+
+    def test_with_mapping(self):
+        dmr = DMRConfig.paper_default().with_mapping(MappingPolicy.IN_ORDER)
+        assert dmr.mapping is MappingPolicy.IN_ORDER
+
+
+class TestLaunchConfig:
+    def test_total_threads(self):
+        assert LaunchConfig(grid_dim=4, block_dim=96).total_threads == 384
+
+    def test_warps_per_block_rounds_up(self):
+        assert LaunchConfig(grid_dim=1, block_dim=33).warps_per_block(32) == 2
+
+    def test_zero_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            LaunchConfig(grid_dim=0, block_dim=32)
+
+
+class TestTransferConfig:
+    def test_zero_bytes_is_free(self):
+        assert TransferConfig().transfer_time_s(0) == 0.0
+
+    def test_latency_floor(self):
+        cfg = TransferConfig()
+        assert cfg.transfer_time_s(4) >= cfg.latency_s
+
+    def test_bandwidth_scaling(self):
+        cfg = TransferConfig()
+        small = cfg.transfer_time_s(1 << 20)
+        large = cfg.transfer_time_s(1 << 24)
+        assert large > small
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            TransferConfig().transfer_time_s(-1)

@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import DMRConfig, GPUConfig, LaunchConfig
+from repro.isa.opcodes import CmpOp
+from repro.kernel.builder import KernelBuilder
+from repro.sim.gpu import GPU
+from repro.sim.memory import GlobalMemory
+
+
+@pytest.fixture
+def tiny_config() -> GPUConfig:
+    """One-SM chip for deterministic single-pipeline tests."""
+    return GPUConfig.small(1)
+
+
+@pytest.fixture
+def small_config() -> GPUConfig:
+    """Two-SM chip used by most integration tests."""
+    return GPUConfig.small(2)
+
+
+@pytest.fixture
+def dmr_default() -> DMRConfig:
+    return DMRConfig.paper_default()
+
+
+def build_counting_kernel(iterations: int = 4) -> object:
+    """A loop kernel: out[gtid] = gtid summed *iterations* times."""
+    b = KernelBuilder("counting")
+    i, acc, gid, addr = b.regs(4)
+    p = b.pred()
+    b.gtid(gid)
+    b.mov(acc, 0)
+    b.mov(i, 0)
+    b.label("loop")
+    b.iadd(acc, acc, gid)
+    b.iadd(i, i, 1)
+    b.setp(p, i, CmpOp.LT, iterations)
+    b.bra("loop", pred=p)
+    b.st_global(gid, acc)
+    b.exit()
+    return b.build()
+
+
+def build_divergent_kernel() -> object:
+    """Threads with even gtid double, odd gtid triple their id."""
+    b = KernelBuilder("divergent")
+    gid, t, out = b.regs(3)
+    p = b.pred()
+    b.gtid(gid)
+    b.irem(t, gid, 2)
+    b.setp(p, t, CmpOp.EQ, 0)
+    b.bra("even", pred=p)
+    b.imul(out, gid, 3)
+    b.jmp("store")
+    b.label("even")
+    b.imul(out, gid, 2)
+    b.label("store")
+    b.st_global(gid, out)
+    b.exit()
+    return b.build()
+
+
+def run_program(program, config: GPUConfig, grid: int = 1, block: int = 32,
+                dmr: DMRConfig | None = None, memory=None,
+                fault_hook=None):
+    """Launch helper returning (result, memory)."""
+    memory = memory or GlobalMemory()
+    gpu = GPU(config, dmr=dmr or DMRConfig.disabled(), fault_hook=fault_hook)
+    result = gpu.launch(
+        program, LaunchConfig(grid_dim=grid, block_dim=block), memory=memory
+    )
+    return result, memory

@@ -1,0 +1,103 @@
+"""Unit + end-to-end tests for faulty-SP localization (Section 3.4)."""
+
+from repro.common.config import DMRConfig, GPUConfig, LaunchConfig
+from repro.core.comparator import DetectionEvent
+from repro.core.diagnosis import FaultLocalizer
+from repro.faults.injector import FaultInjector
+from repro.faults.models import StuckAtFault
+from repro.isa.opcodes import Opcode, UnitType
+from repro.sim.gpu import GPU
+from repro.sim.memory import GlobalMemory
+from repro.workloads import get_workload
+
+from tests.conftest import build_counting_kernel
+
+
+def event(sm=0, original=3, verifier=4, opcode=Opcode.IADD, cycle=0):
+    return DetectionEvent(
+        cycle=cycle, sm_id=sm, warp_id=0, pc=0, opcode=opcode,
+        original_lane=original, verifier_lane=verifier,
+        original_value=1, verify_value=2, mode="inter",
+    )
+
+
+class TestLocalizerUnit:
+    def test_no_evidence(self):
+        localizer = FaultLocalizer()
+        diagnosis = localizer.diagnose_sm(0)
+        assert not diagnosis.localized
+        assert diagnosis.evidence == 0
+
+    def test_single_event_is_ambiguous(self):
+        localizer = FaultLocalizer()
+        localizer.add([event(original=3, verifier=4)])
+        diagnosis = localizer.diagnose_sm(0)
+        assert not diagnosis.localized  # both partners equally suspect
+
+    def test_varying_partners_localize(self):
+        localizer = FaultLocalizer()
+        localizer.add([
+            event(original=3, verifier=4),
+            event(original=3, verifier=5),
+            event(original=2, verifier=3),
+        ])
+        diagnosis = localizer.diagnose_sm(0)
+        assert diagnosis.localized
+        assert diagnosis.suspect_lane == 3
+        assert diagnosis.confidence > 0.5
+        assert diagnosis.suspect_unit is UnitType.SP
+
+    def test_sms_diagnosed_independently(self):
+        localizer = FaultLocalizer()
+        localizer.add([
+            event(sm=0, original=1, verifier=2),
+            event(sm=0, original=1, verifier=3),
+            event(sm=1, original=7, verifier=6),
+            event(sm=1, original=7, verifier=4),
+        ])
+        assert localizer.suspects() == [(0, 1), (1, 7)]
+
+    def test_str_forms(self):
+        localizer = FaultLocalizer()
+        assert "no unique suspect" in str(localizer.diagnose_sm(0))
+        localizer.add([
+            event(original=3, verifier=4),
+            event(original=3, verifier=5),
+        ])
+        assert "lane 3" in str(localizer.diagnose_sm(0))
+
+
+class TestEndToEndLocalization:
+    def _detections_for(self, lane, program_grid=(1, 32)):
+        fault = StuckAtFault(sm_id=0, hw_lane=lane, unit=UnitType.SP,
+                             bit=3, stuck_to=1)
+        gpu = GPU(GPUConfig.small(1), dmr=DMRConfig.paper_default(),
+                  fault_hook=FaultInjector([fault]))
+        grid, block = program_grid
+        result = gpu.launch(
+            build_counting_kernel(8), LaunchConfig(grid, block),
+            memory=GlobalMemory(),
+        )
+        return result.detections
+
+    def test_stuck_at_lane_localized(self):
+        for faulty_lane in (0, 5, 17, 31):
+            localizer = FaultLocalizer()
+            localizer.add(self._detections_for(faulty_lane))
+            diagnosis = localizer.diagnose_sm(0)
+            assert diagnosis.localized, faulty_lane
+            assert diagnosis.suspect_lane == faulty_lane
+
+    def test_localization_on_real_workload(self):
+        workload = get_workload("scan")
+        run = workload.prepare(scale=0.5)
+        fault = StuckAtFault(sm_id=0, hw_lane=9, unit=UnitType.SP,
+                             bit=2, stuck_to=1)
+        gpu = GPU(GPUConfig.small(1), dmr=DMRConfig.paper_default(),
+                  fault_hook=FaultInjector([fault]))
+        result = gpu.launch(run.program, run.launch, memory=run.memory)
+        localizer = FaultLocalizer()
+        localizer.add(result.detections)
+        diagnosis = localizer.diagnose_sm(0)
+        assert diagnosis.localized
+        assert diagnosis.suspect_lane == 9

@@ -1,0 +1,63 @@
+"""Unit tests for the DMR controller facade."""
+
+from repro.common.config import DMRConfig, GPUConfig
+from repro.common.stats import StatSet
+from repro.core.dmr_controller import DMRController
+from repro.isa.opcodes import Opcode
+
+from tests.core.conftest import make_event
+
+
+def make_controller(dmr=None):
+    stats = StatSet()
+    controller = DMRController(
+        gpu_config=GPUConfig.small(1),
+        dmr_config=dmr or DMRConfig.paper_default(),
+        stats=stats,
+    )
+    return controller, stats
+
+
+class TestDispatch:
+    def test_full_warp_goes_inter(self):
+        controller, stats = make_controller()
+        controller.on_issue(make_event(Opcode.IADD), None)
+        assert stats.value("inter_warp_instructions") == 1
+        assert stats.value("intra_warp_instructions") == 0
+        assert stats.value("coverage_inter_lanes") == 32
+
+    def test_partial_warp_goes_intra(self):
+        controller, stats = make_controller()
+        controller.on_issue(make_event(Opcode.IADD, hw_mask=0xFFFF), None)
+        assert stats.value("intra_warp_instructions") == 1
+        assert stats.value("inter_warp_instructions") == 0
+
+    def test_exempt_opcodes_not_counted(self):
+        controller, stats = make_controller()
+        controller.on_issue(make_event(Opcode.BAR), None)
+        assert stats.value("coverage_eligible_lanes") == 0
+
+    def test_disabled_controller_is_inert(self):
+        controller, stats = make_controller(DMRConfig.disabled())
+        assert controller.on_issue(make_event(Opcode.IADD), None) == 0
+        controller.on_idle(0)
+        assert controller.on_kernel_end(10) == 0
+        assert stats.value("coverage_eligible_lanes") == 0
+
+    def test_coverage_report(self):
+        controller, stats = make_controller()
+        controller.on_issue(make_event(Opcode.IADD), None)
+        controller.on_issue(
+            make_event(Opcode.IMUL, hw_mask=0x0003, cycle=1), None
+        )
+        report = controller.coverage_report()
+        assert report.eligible_lanes == 34
+        assert report.inter_verified_lanes == 32
+        assert report.intra_verified_lanes == 2
+
+    def test_kernel_end_flushes(self):
+        controller, stats = make_controller()
+        controller.on_issue(make_event(Opcode.IADD), None)
+        flush_cycles = controller.on_kernel_end(100)
+        assert flush_cycles == 1  # the pending latch
+        assert stats.value("inter_warp_verified_instructions") == 1

@@ -1,0 +1,69 @@
+"""Unit tests for thread-to-core mapping and lane shuffling."""
+
+import pytest
+
+from repro.common.config import MappingPolicy
+from repro.common.errors import ConfigError
+from repro.core.mapping import (
+    cluster_of_lane,
+    lane_permutation,
+    shuffled_lane,
+)
+
+
+class TestLanePermutation:
+    def test_in_order_is_identity(self):
+        assert lane_permutation(MappingPolicy.IN_ORDER, 32, 4) == list(range(32))
+
+    def test_cross_is_permutation(self):
+        perm = lane_permutation(MappingPolicy.CROSS, 32, 4)
+        assert sorted(perm) == list(range(32))
+
+    def test_cross_deals_threads_round_robin(self):
+        perm = lane_permutation(MappingPolicy.CROSS, 32, 4)
+        # consecutive threads land in consecutive clusters
+        for j in range(8):
+            assert cluster_of_lane(perm[j], 4) == j
+
+    def test_cross_motivating_case(self):
+        """Paper Section 4.2: consecutive active threads (the common
+        divergence outcome) starve in-order clusters of checkers but
+        spread perfectly under cross mapping."""
+        from repro.core.rfu import RegisterForwardingUnit
+        rfu = RegisterForwardingUnit(4)
+        active_threads = range(8)  # threads 0..7 active, rest idle
+        for policy, expect_full in (
+            (MappingPolicy.IN_ORDER, False),
+            (MappingPolicy.CROSS, True),
+        ):
+            perm = lane_permutation(policy, 32, 4)
+            hw_mask = 0
+            for thread in active_threads:
+                hw_mask |= 1 << perm[thread]
+            verified = rfu.verified_lanes(hw_mask, 32)
+            if expect_full:
+                assert verified == hw_mask   # all 8 verified
+            else:
+                assert verified == 0         # two fully-active clusters
+
+    def test_indivisible_cluster_rejected(self):
+        with pytest.raises(ConfigError):
+            lane_permutation(MappingPolicy.CROSS, 32, 5)
+
+
+class TestShuffledLane:
+    def test_rotates_within_cluster(self):
+        assert [shuffled_lane(l, 4) for l in range(4)] == [1, 2, 3, 0]
+
+    def test_never_identity(self):
+        for lane in range(32):
+            assert shuffled_lane(lane, 4) != lane
+
+    def test_stays_in_cluster(self):
+        for lane in range(32):
+            assert cluster_of_lane(shuffled_lane(lane, 4), 4) == \
+                cluster_of_lane(lane, 4)
+
+    def test_is_bijective(self):
+        shuffled = [shuffled_lane(l, 4) for l in range(32)]
+        assert sorted(shuffled) == list(range(32))

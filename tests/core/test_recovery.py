@@ -1,0 +1,113 @@
+"""Tests for the recovery policy extension (Section 3.1 future work)."""
+
+import pytest
+
+from repro.common.config import DMRConfig, GPUConfig
+from repro.core.comparator import DetectionEvent
+from repro.core.recovery import (
+    RecoveryAction,
+    RecoveryPolicy,
+    recover_by_reexecution,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.models import StuckAtFault, TransientFault
+from repro.isa.opcodes import Opcode, UnitType
+from repro.sim.gpu import GPU
+from repro.workloads import get_workload
+
+
+def event(original=3, verifier=4, cycle=0, sm=0):
+    return DetectionEvent(
+        cycle=cycle, sm_id=sm, warp_id=0, pc=0, opcode=Opcode.IADD,
+        original_lane=original, verifier_lane=verifier,
+        original_value=1, verify_value=2, mode="inter",
+    )
+
+
+class TestPolicyClassification:
+    def test_no_detections_is_healthy(self):
+        plan = RecoveryPolicy().plan([])
+        assert plan.healthy
+        assert plan.action is RecoveryAction.NONE
+
+    def test_single_mismatch_is_transient(self):
+        plan = RecoveryPolicy().plan([event()])
+        assert plan.action is RecoveryAction.RESCHEDULE
+
+    def test_repeat_offender_lane_is_permanent(self):
+        detections = [
+            event(original=5, verifier=6, cycle=c) for c in range(3)
+        ] + [event(original=4, verifier=5, cycle=9)]
+        plan = RecoveryPolicy(permanent_threshold=4).plan(detections)
+        assert plan.action is RecoveryAction.DISABLE_LANE
+        assert (0, 5) in plan.disabled_lanes
+
+    def test_smeared_evidence_raises(self):
+        # many detections, no common lane
+        detections = [
+            event(original=2 * i, verifier=2 * i + 1, cycle=i)
+            for i in range(8)
+        ]
+        plan = RecoveryPolicy().plan(detections)
+        assert plan.action is RecoveryAction.RAISE_EXCEPTION
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(permanent_threshold=1)
+
+    def test_str_readable(self):
+        plan = RecoveryPolicy().plan([event()])
+        assert "transient" in str(plan)
+
+
+class TestEndToEndRecovery:
+    def test_transient_recovers_by_reexecution(self):
+        """A one-shot strike corrupts run 1; the re-executed run is
+        clean and its output checks out — the paper's 're-schedule'
+        handling, end to end."""
+        workload = get_workload("scan")
+        injector = FaultInjector([
+            TransientFault(sm_id=0, hw_lane=3, unit=UnitType.SP,
+                           bit=2, cycle=30),
+        ])
+
+        def gpu_factory():
+            return GPU(GPUConfig.small(1), dmr=DMRConfig.paper_default(),
+                       fault_hook=injector)
+
+        result, run, plans = recover_by_reexecution(
+            gpu_factory, lambda: workload.prepare(scale=0.5),
+        )
+        assert len(plans) == 2
+        assert plans[0].action is RecoveryAction.RESCHEDULE
+        assert plans[1].healthy
+        run.check(run.memory)  # final output is correct
+
+    def test_permanent_fault_flags_the_lane(self):
+        workload = get_workload("scan")
+        injector = FaultInjector([
+            StuckAtFault(sm_id=0, hw_lane=7, unit=UnitType.SP,
+                         bit=2, stuck_to=1),
+        ])
+
+        def gpu_factory():
+            return GPU(GPUConfig.small(1), dmr=DMRConfig.paper_default(),
+                       fault_hook=injector)
+
+        with pytest.raises(RuntimeError) as excinfo:
+            recover_by_reexecution(
+                gpu_factory, lambda: workload.prepare(scale=0.5),
+            )
+        assert "disable_lane" in str(excinfo.value)
+        assert "lane7" in str(excinfo.value)
+
+    def test_clean_hardware_passes_straight_through(self):
+        workload = get_workload("scan")
+
+        def gpu_factory():
+            return GPU(GPUConfig.small(1), dmr=DMRConfig.paper_default())
+
+        result, run, plans = recover_by_reexecution(
+            gpu_factory, lambda: workload.prepare(scale=0.25),
+        )
+        assert len(plans) == 1 and plans[0].healthy

@@ -1,0 +1,125 @@
+"""Unit tests for the ReplayQ structure and Section 4.3.1 geometry."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.replayq import ReplayQ, ReplayQGeometry
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, UnitType
+from repro.isa.operands import Reg
+from repro.sim.events import IssueEvent
+
+
+def make_event(opcode=Opcode.IADD, warp_id=0, dest=None):
+    from repro.isa.opcodes import op_info
+    info = op_info(opcode)
+    inst = Instruction(
+        opcode=opcode,
+        dst=Reg(dest) if dest is not None and info.writes_reg else (
+            Reg(0) if info.writes_reg else None),
+        srcs=tuple(Reg(i + 1) for i in range(info.num_srcs)),
+    )
+    return IssueEvent(
+        cycle=0, sm_id=0, warp_id=warp_id, pc=0, instruction=inst,
+        logical_mask=0xFFFFFFFF, hw_mask=0xFFFFFFFF, warp_width=32,
+        dest_reg=inst.dest_register(),
+    )
+
+
+class TestGeometry:
+    """Paper Section 4.3.1: 514-516 B per entry, ~5 KB for 10 entries."""
+
+    def test_source_bytes(self):
+        assert ReplayQGeometry().source_bytes == 384
+
+    def test_result_bytes(self):
+        assert ReplayQGeometry().result_bytes_total == 128
+
+    def test_entry_byte_range(self):
+        geometry = ReplayQGeometry()
+        assert geometry.entry_bytes_min == 514
+        assert geometry.entry_bytes_max == 516
+
+    def test_ten_entries_about_5kb(self):
+        total = ReplayQGeometry().total_bytes_max
+        assert 5000 <= total <= 5300
+
+    def test_four_percent_of_register_file(self):
+        fraction = ReplayQGeometry().fraction_of_register_file(128 * 1024)
+        assert 0.035 <= fraction <= 0.045
+
+
+class TestQueue:
+    def test_capacity_zero_always_full(self):
+        q = ReplayQ(0)
+        assert q.is_full and q.is_empty
+
+    def test_enqueue_dequeue_fifo(self):
+        q = ReplayQ(4)
+        events = [make_event(warp_id=i) for i in range(3)]
+        for i, e in enumerate(events):
+            q.enqueue(e, cycle=i)
+        assert len(q) == 3
+        assert q.dequeue_oldest().warp_id == 0
+        assert q.dequeue_oldest().warp_id == 1
+
+    def test_enqueue_full_rejected(self):
+        q = ReplayQ(1)
+        q.enqueue(make_event(), 0)
+        with pytest.raises(ConfigError):
+            q.enqueue(make_event(), 1)
+
+    def test_dequeue_different_type(self):
+        q = ReplayQ(4)
+        q.enqueue(make_event(Opcode.IADD), 0)
+        q.enqueue(make_event(Opcode.LD_GLOBAL), 1)
+        entry = q.dequeue_different_type(UnitType.SP)
+        assert entry.unit is UnitType.LDST
+        assert len(q) == 1
+
+    def test_dequeue_different_type_none_available(self):
+        q = ReplayQ(4)
+        q.enqueue(make_event(Opcode.IADD), 0)
+        assert q.dequeue_different_type(UnitType.SP) is None
+        assert len(q) == 1
+
+    def test_dequeue_of_type(self):
+        q = ReplayQ(4)
+        q.enqueue(make_event(Opcode.LD_GLOBAL), 0)
+        q.enqueue(make_event(Opcode.SIN), 1)
+        assert q.dequeue_of_type(UnitType.SFU).unit is UnitType.SFU
+        assert q.dequeue_of_type(UnitType.SFU) is None
+
+    def test_find_producer_newest_wins(self):
+        q = ReplayQ(4)
+        first = q.enqueue(make_event(dest=5, warp_id=1), 0)
+        second = q.enqueue(make_event(dest=5, warp_id=1), 1)
+        assert q.find_producer(1, 5) is second
+        assert q.find_producer(2, 5) is None
+        assert q.find_producer(1, 6) is None
+
+    def test_remove_specific_entry(self):
+        q = ReplayQ(4)
+        entry = q.enqueue(make_event(), 0)
+        assert q.remove(entry)
+        assert not q.remove(entry)
+
+    def test_drain_empties(self):
+        q = ReplayQ(4)
+        q.enqueue(make_event(), 0)
+        q.enqueue(make_event(), 1)
+        drained = q.drain()
+        assert len(drained) == 2
+        assert q.is_empty
+
+    def test_peak_occupancy(self):
+        q = ReplayQ(4)
+        q.enqueue(make_event(), 0)
+        q.enqueue(make_event(), 1)
+        q.dequeue_oldest()
+        q.enqueue(make_event(), 2)
+        assert q.peak_occupancy == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ReplayQ(-1)

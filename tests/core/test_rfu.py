@@ -1,0 +1,118 @@
+"""Unit tests for the RFU priority MUXes (paper Table 1 / Figure 6)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.rfu import (
+    PRIORITY_TABLE,
+    RegisterForwardingUnit,
+    priority_sequence,
+)
+
+
+class TestTable1:
+    """The priority table must match the paper verbatim."""
+
+    def test_exact_table(self):
+        assert PRIORITY_TABLE == (
+            (0, 1, 2, 3),   # 1st priority per MUX
+            (1, 0, 3, 2),   # 2nd
+            (2, 3, 0, 1),   # 3rd
+            (3, 2, 1, 0),   # 4th
+        )
+
+    def test_first_priority_is_own_lane(self):
+        for mux in range(4):
+            assert priority_sequence(mux, 4)[0] == mux
+
+    def test_each_sequence_is_permutation(self):
+        for mux in range(8):
+            seq = priority_sequence(mux, 8)
+            assert sorted(seq) == list(range(8))
+
+    def test_uniform_pairing_possibilities(self):
+        """Every (mux, candidate) pair appears at exactly one priority
+        rank — the paper's 'uniform pairing possibilities'."""
+        for rank in range(4):
+            row = [priority_sequence(m, 4)[rank] for m in range(4)]
+            assert sorted(row) == [0, 1, 2, 3]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            priority_sequence(0, 3)
+
+    def test_mux_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            priority_sequence(4, 4)
+
+
+class TestClusterPairing:
+    def test_paper_worked_example(self):
+        """Active mask 4'b0011: threads 2,3 DMR threads 0,1 (Sec 4.1)."""
+        rfu = RegisterForwardingUnit(4)
+        assert rfu.pair_cluster(0b0011) == {2: 0, 3: 1}
+
+    def test_single_active_gets_triple_redundancy(self):
+        """One active lane is verified by all three idle lanes (the
+        paper allows more-than-dual redundancy)."""
+        rfu = RegisterForwardingUnit(4)
+        pairs = rfu.pair_cluster(0b0001)
+        assert pairs == {1: 0, 2: 0, 3: 0}
+
+    def test_fully_active_cluster_pairs_nothing(self):
+        assert RegisterForwardingUnit(4).pair_cluster(0b1111) == {}
+
+    def test_empty_cluster_pairs_nothing(self):
+        assert RegisterForwardingUnit(4).pair_cluster(0b0000) == {}
+
+    def test_three_active_one_verifier(self):
+        rfu = RegisterForwardingUnit(4)
+        pairs = rfu.pair_cluster(0b0111)
+        # lane 3 scans 2 (idle? no, active) -> verifies lane 2
+        assert pairs == {3: 2}
+
+    def test_alternating_mask_full_coverage(self):
+        rfu = RegisterForwardingUnit(4)
+        pairs = rfu.pair_cluster(0b0101)
+        assert set(pairs.values()) == {0, 2}
+
+    def test_verifiers_are_idle_targets_are_active(self):
+        rfu = RegisterForwardingUnit(4)
+        for mask in range(16):
+            for idle, active in rfu.pair_cluster(mask).items():
+                assert not (mask >> idle) & 1
+                assert (mask >> active) & 1
+
+
+class TestWarpPairing:
+    def test_no_cross_cluster_forwarding(self):
+        rfu = RegisterForwardingUnit(4)
+        # cluster 0 fully active, cluster 1 fully idle: no pairing at all
+        pairs = rfu.pair_warp(0x0F, warp_size=8)
+        assert pairs == {}
+
+    def test_pairing_within_each_cluster(self):
+        rfu = RegisterForwardingUnit(4)
+        # both clusters have pattern 0b0011
+        pairs = rfu.pair_warp(0x33, warp_size=8)
+        assert pairs == {2: 0, 3: 1, 6: 4, 7: 5}
+
+    def test_verified_lanes_mask(self):
+        rfu = RegisterForwardingUnit(4)
+        verified = rfu.verified_lanes(0x33, warp_size=8)
+        assert verified == 0x33  # every active lane has a checker
+
+    def test_eight_wide_cluster_reaches_farther(self):
+        # first 4 lanes active, last 4 idle: a 4-wide cluster config
+        # cannot verify them, an 8-wide one can
+        mask = 0x0F
+        assert RegisterForwardingUnit(4).verified_lanes(mask, 8) == 0
+        assert RegisterForwardingUnit(8).verified_lanes(mask, 8) == 0x0F
+
+    def test_warp_size_must_be_cluster_multiple(self):
+        with pytest.raises(ConfigError):
+            RegisterForwardingUnit(4).pair_warp(0, warp_size=6)
+
+    def test_cluster_size_one_rejected(self):
+        with pytest.raises(ConfigError):
+            RegisterForwardingUnit(1)

@@ -1,0 +1,98 @@
+"""Unit tests for fault models (bit flips and stuck-at forcing)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import FaultInjectionError
+from repro.faults.models import (
+    StuckAtFault,
+    TransientFault,
+    flip_bit,
+    force_bit,
+)
+from repro.isa.opcodes import UnitType
+
+
+class TestFlipBit:
+    def test_int_flip(self):
+        assert flip_bit(0, 0) == 1
+        assert flip_bit(5, 1) == 7
+
+    def test_int_flip_is_involution(self):
+        for value in (0, 1, -1, 12345, -99999):
+            for bit in (0, 7, 15, 31):
+                assert flip_bit(flip_bit(value, bit), bit) == value
+
+    def test_sign_bit_flip(self):
+        assert flip_bit(0, 31) == -(1 << 31)
+
+    def test_float_flip_roundtrips(self):
+        for value in (0.0, 1.5, -2.25, 1e10):
+            for bit in (0, 23, 30, 31):
+                assert flip_bit(flip_bit(value, bit), bit) == value
+
+    def test_float_exponent_flip_is_wild(self):
+        flipped = flip_bit(1.0, 30)  # top exponent bit
+        assert not math.isclose(flipped, 1.0, rel_tol=0.5)
+
+    def test_bool_flip(self):
+        assert flip_bit(True, 0) is False
+        assert flip_bit(False, 0) is True
+        assert flip_bit(True, 5) is True  # upper bits are zero anyway
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            flip_bit(1, 32)
+
+
+class TestForceBit:
+    def test_stuck_at_one(self):
+        assert force_bit(0, 3, 1) == 8
+
+    def test_stuck_at_zero(self):
+        assert force_bit(0xF, 0, 0) == 0xE
+
+    def test_idempotent(self):
+        once = force_bit(12345, 7, 1)
+        assert force_bit(once, 7, 1) == once
+
+    def test_no_change_when_already_matching(self):
+        assert force_bit(8, 3, 1) == 8
+
+    def test_float_mantissa_forcing(self):
+        forced = force_bit(1.5, 0, 1)
+        assert forced != 1.5
+        assert force_bit(forced, 0, 1) == forced
+
+    def test_invalid_stuck_value(self):
+        with pytest.raises(FaultInjectionError):
+            force_bit(0, 0, 2)
+
+
+class TestFaultSites:
+    def test_site_matching(self):
+        fault = StuckAtFault(sm_id=1, hw_lane=5, unit=UnitType.SP, bit=0)
+        assert fault.matches_site(1, UnitType.SP, 5)
+        assert not fault.matches_site(0, UnitType.SP, 5)
+        assert not fault.matches_site(1, UnitType.LDST, 5)
+        assert not fault.matches_site(1, UnitType.SP, 6)
+
+    def test_unit_wildcard(self):
+        fault = StuckAtFault(sm_id=1, hw_lane=5, unit=None)
+        assert fault.matches_site(1, UnitType.SP, 5)
+        assert fault.matches_site(1, UnitType.SFU, 5)
+
+    def test_transient_arming(self):
+        fault = TransientFault(sm_id=0, hw_lane=0, cycle=100)
+        assert not fault.is_armed(99)
+        assert fault.is_armed(100)
+        assert fault.is_armed(500)
+
+    def test_stuck_at_apply(self):
+        fault = StuckAtFault(sm_id=0, hw_lane=0, bit=1, stuck_to=1)
+        assert fault.apply(0, cycle=0) == 2
+
+    def test_transient_apply_flips(self):
+        fault = TransientFault(sm_id=0, hw_lane=0, bit=2)
+        assert fault.apply(0, cycle=0) == 4

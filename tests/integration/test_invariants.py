@@ -1,0 +1,112 @@
+"""Cross-cutting accounting invariants, checked over real suite runs.
+
+These are the bookkeeping identities the experiment figures rest on;
+if any drifts, every figure silently degrades, so they get their own
+tests on live simulations.
+"""
+
+import pytest
+
+from repro.analysis.runner import SuiteRunner, experiment_config
+from repro.common.config import DMRConfig
+from repro.workloads import PAPER_ORDER
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(experiment_config(num_sms=2), scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def dmr_results(runner):
+    return {
+        name: runner.run(name, DMRConfig.paper_default())
+        for name in PAPER_ORDER
+    }
+
+
+class TestCycleAccounting:
+    def test_cycles_partition(self, dmr_results):
+        """Every SM cycle is an issue, an idle, or a DMR stall."""
+        for name, result in dmr_results.items():
+            stats = result.stats
+            total = stats.value("cycles_total")
+            issue_cycles = (stats.value("instructions_issued")
+                            - stats.value("dual_issue_cycles"))
+            accounted = (issue_cycles
+                         + stats.value("cycles_idle")
+                         + stats.value("cycles_dmr_stall"))
+            assert accounted == total, name
+
+    def test_kernel_cycles_is_max_of_sms(self, dmr_results):
+        for name, result in dmr_results.items():
+            assert result.cycles == max(result.per_sm_cycles), name
+
+
+class TestCoverageAccounting:
+    def test_verified_never_exceeds_eligible(self, dmr_results):
+        for name, result in dmr_results.items():
+            report = result.coverage
+            assert report.verified_lanes <= report.eligible_lanes, name
+
+    def test_intra_plus_inter_equals_verified(self, dmr_results):
+        for name, result in dmr_results.items():
+            report = result.coverage
+            assert (report.intra_verified_lanes
+                    + report.inter_verified_lanes
+                    == report.verified_lanes), name
+
+    def test_every_fully_utilized_instruction_verified(self, dmr_results):
+        """Inter-warp DMR's completeness: each accepted instruction is
+        verified on exactly one path (co-execution, queue swap, idle
+        drain, eager re-execution, RAW-forced, or kernel-end flush) —
+        never zero, never twice."""
+        paths = ("coexec", "coexec_from_queue", "eager", "coexec_idle",
+                 "drain_idle", "raw_forced", "flush")
+        for name, result in dmr_results.items():
+            stats = result.stats
+            accepted = stats.value("inter_warp_instructions")
+            by_path = sum(
+                stats.value(f"inter_warp_verify_{path}") for path in paths
+            )
+            assert by_path == accepted, name
+            assert stats.value(
+                "inter_warp_verified_instructions"
+            ) == accepted, name
+
+
+class TestHistogramConsistency:
+    def test_active_thread_histogram_totals_issues(self, dmr_results):
+        for name, result in dmr_results.items():
+            histogram = result.stats.histogram("active_threads")
+            assert histogram.total == result.instructions_issued, name
+
+    def test_unit_histogram_totals_issues(self, dmr_results):
+        for name, result in dmr_results.items():
+            histogram = result.stats.histogram("unit_type")
+            assert histogram.total == result.instructions_issued, name
+
+    def test_thread_instructions_equals_weighted_histogram(self, dmr_results):
+        for name, result in dmr_results.items():
+            histogram = result.stats.histogram("active_threads")
+            weighted = sum(k * n for k, n in histogram.as_dict().items())
+            assert weighted == result.stats.value("thread_instructions"), name
+
+
+class TestDMRIsPureObserver:
+    def test_issue_counts_match_baseline(self, runner, dmr_results):
+        """DMR adds stall cycles but never changes the instruction
+        stream itself."""
+        for name in PAPER_ORDER:
+            base = runner.baseline(name)
+            dmr = dmr_results[name]
+            assert (base.instructions_issued
+                    == dmr.instructions_issued), name
+
+    def test_dmr_never_faster_than_free(self, runner, dmr_results):
+        for name in PAPER_ORDER:
+            base = runner.baseline(name)
+            dmr = dmr_results[name]
+            # scheduling perturbation can save a handful of cycles, but
+            # never a significant fraction
+            assert dmr.cycles >= base.cycles * 0.97, name

@@ -1,0 +1,172 @@
+"""Integration tests asserting the paper's *shape* claims.
+
+Absolute numbers differ from the paper (different substrate, reduced
+scale — see EXPERIMENTS.md), but the qualitative results the paper's
+argument rests on must reproduce.  These run the full 11-workload suite
+at evaluation scale, so this file is the slow end of the test suite.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.active_threads import run_figure1
+from repro.analysis.coverage_sweep import run_figure9a
+from repro.analysis.inst_mix import run_figure5
+from repro.analysis.overhead_sweep import run_figure9b
+from repro.analysis.power_energy import run_figure11
+from repro.analysis.raw_distance import run_figure8b
+from repro.analysis.runner import SuiteRunner, experiment_config
+from repro.analysis.switching import run_figure8a
+from repro.common.config import DMRConfig
+from repro.workloads import PAPER_ORDER
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(experiment_config(num_sms=2), scale=1.0)
+
+
+class TestFigure1Claims:
+    def test_bfs_dominated_by_single_digit_active_threads(self, runner):
+        """'over 40% of BFS instructions are executed by only a single
+        thread' — our BFS must at least be dominated by the low bins."""
+        bins = run_figure1(runner)["bfs"]
+        assert bins["1"] + bins["2-11"] > 0.4
+
+    def test_majority_of_apps_not_always_full(self, runner):
+        data = run_figure1(runner)
+        not_full = [name for name in PAPER_ORDER if data[name]["32"] < 0.99]
+        assert len(not_full) >= 6
+
+    def test_dense_apps_fully_utilized(self, runner):
+        data = run_figure1(runner)
+        for name in ("matrixmul", "libor"):
+            assert data[name]["32"] > 0.9, name
+
+
+class TestFigure5Claims:
+    def test_no_app_is_single_typed(self, runner):
+        """Heterogeneous underutilization exists everywhere: no workload
+        issues only one unit type."""
+        for name, mix in run_figure5(runner).items():
+            used = [unit for unit, frac in mix.items() if frac > 0.01]
+            assert len(used) >= 2, name
+
+    def test_sp_dominates_overall(self, runner):
+        mixes = run_figure5(runner)
+        sp_mean = statistics.mean(mix["SP"] for mix in mixes.values())
+        assert sp_mean > 0.5
+
+
+class TestFigure8Claims:
+    def test_typical_runs_fit_the_replayq(self, runner):
+        """Fig 8(a): most same-type runs are short; the mean should be
+        well under the 10-entry ReplayQ for the majority of workloads."""
+        data = run_figure8a(runner)
+        means = []
+        for name, per_unit in data.items():
+            for unit, stats in per_unit.items():
+                if stats["max"] > 0:
+                    means.append(stats["mean"])
+        assert statistics.median(means) <= 10
+
+    def test_raw_distances_give_slack(self, runner):
+        """Fig 8(b): RAW distances of at least ~8 cycles, median far
+        beyond the 1-2 cycle verification latency."""
+        data = run_figure8b(runner)
+        for name, stats in data.items():
+            assert stats["min"] >= 4, name
+            assert stats["median"] >= 8, name
+
+
+class TestFigure9aClaims:
+    @pytest.fixture(scope="class")
+    def coverage(self, runner):
+        return run_figure9a(runner)
+
+    def test_average_coverage_high(self, coverage):
+        """Headline: high measured coverage (paper: 96.43%)."""
+        assert coverage["average"]["cluster4_cross"] > 85
+
+    def test_bigger_clusters_help(self, coverage):
+        avg = coverage["average"]
+        assert avg["cluster8_inorder"] >= avg["cluster4_inorder"]
+
+    def test_fully_utilized_apps_fully_covered(self, coverage):
+        for name in ("matrixmul", "sha", "libor"):
+            assert coverage[name]["cluster4_cross"] > 99, name
+
+    def test_bfs_nearly_fully_covered(self, coverage):
+        assert coverage["bfs"]["cluster4_cross"] > 95
+
+    def test_cross_mapping_helps_tid_guarded_kernels(self, coverage):
+        """Consecutive-active divergence (scan's tid>=offset guard) is
+        exactly where cross mapping wins (paper Section 4.2)."""
+        for name in ("scan", "radixsort"):
+            assert coverage[name]["cluster4_cross"] > \
+                coverage[name]["cluster4_inorder"], name
+
+
+class TestFigure9bClaims:
+    @pytest.fixture(scope="class")
+    def overhead(self, runner):
+        return run_figure9b(runner)
+
+    def test_replayq_reduces_average_overhead(self, overhead):
+        avg = overhead["average"]
+        assert avg[10] < avg[0]
+
+    def test_average_overhead_moderate_with_10_entries(self, overhead):
+        """Paper headline: worst-case ~16% average overhead."""
+        assert overhead["average"][10] < 1.25
+
+    def test_matrixmul_worst_and_improves_most(self, overhead):
+        """Paper: MatrixMul >70% overhead with no ReplayQ, ~18% with 10."""
+        matmul = overhead["matrixmul"]
+        assert matmul[0] > 1.5
+        assert matmul[10] < matmul[0] - 0.25
+
+    def test_divergent_apps_nearly_free(self, overhead):
+        """BFS-style intra-warp-covered apps pay ~nothing (paper)."""
+        for name in ("bfs", "nqueen", "mum"):
+            assert overhead[name][10] < 1.1, name
+
+
+class TestFigure11Claims:
+    def test_power_and_energy_ratios(self, runner):
+        data = run_figure11(runner)
+        assert 1.0 < data["average"]["power"] < 1.3
+        assert 1.0 < data["average"]["energy"] < 1.5
+        # energy ratio >= power ratio: DMR also lengthens execution
+        assert data["average"]["energy"] >= data["average"]["power"] * 0.98
+
+
+class TestHeadlineCoverageOverheadTradeoff:
+    def test_the_paper_sentence(self, runner):
+        """'Warped-DMR achieves high error coverage while incurring a
+        modest performance overhead without extra execution units.'"""
+        coverage = run_figure9a(runner)["average"]["cluster4_cross"]
+        overhead = run_figure9b(runner)["average"][10]
+        assert coverage > 85.0
+        assert overhead < 1.25
+
+
+class TestMappingGainClaim:
+    def test_cross_mapping_increases_detection_opportunity(self, runner):
+        """Section 4.2: the scheduler change raises intra-warp
+        verification on divergence patterns with consecutive active
+        threads.  Measured on the suite's intra-covered lanes."""
+        from repro.common.config import MappingPolicy
+        gains = []
+        for name in ("scan", "radixsort", "bitonic"):
+            inorder = runner.run(
+                name,
+                DMRConfig.paper_default().with_mapping(MappingPolicy.IN_ORDER),
+            ).coverage.intra_verified_lanes
+            cross = runner.run(
+                name,
+                DMRConfig.paper_default().with_mapping(MappingPolicy.CROSS),
+            ).coverage.intra_verified_lanes
+            gains.append(cross / max(1, inorder))
+        assert statistics.mean(gains) > 1.0

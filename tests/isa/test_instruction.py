@@ -1,0 +1,134 @@
+"""Unit tests for instruction construction, validation and disassembly."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, Opcode, UnitType
+from repro.isa.operands import Imm, Reg, SReg, SpecialReg, as_operand
+
+
+def iadd(dst=0, a=1, b=2, **kw):
+    return Instruction(
+        opcode=Opcode.IADD, dst=Reg(dst), srcs=(Reg(a), Reg(b)), **kw
+    )
+
+
+class TestValidation:
+    def test_wrong_source_count(self):
+        with pytest.raises(KernelError):
+            Instruction(opcode=Opcode.IADD, dst=Reg(0), srcs=(Reg(1),))
+
+    def test_missing_destination(self):
+        with pytest.raises(KernelError):
+            Instruction(opcode=Opcode.IADD, srcs=(Reg(1), Reg(2)))
+
+    def test_spurious_destination(self):
+        with pytest.raises(KernelError):
+            Instruction(opcode=Opcode.NOP, dst=Reg(0))
+
+    def test_setp_requires_cmp(self):
+        with pytest.raises(KernelError):
+            Instruction(opcode=Opcode.SETP, srcs=(Reg(0), Reg(1)), pdst=0)
+
+    def test_setp_requires_pdst(self):
+        with pytest.raises(KernelError):
+            Instruction(
+                opcode=Opcode.SETP, srcs=(Reg(0), Reg(1)), cmp=CmpOp.LT
+            )
+
+    def test_selp_requires_psrc(self):
+        with pytest.raises(KernelError):
+            Instruction(opcode=Opcode.SELP, dst=Reg(0), srcs=(Reg(1), Reg(2)))
+
+    def test_bra_requires_predicate(self):
+        with pytest.raises(KernelError):
+            Instruction(opcode=Opcode.BRA, target="somewhere")
+
+    def test_bra_requires_target(self):
+        with pytest.raises(KernelError):
+            Instruction(opcode=Opcode.BRA, pred=0)
+
+    def test_offset_only_on_memory(self):
+        with pytest.raises(KernelError):
+            iadd(offset=4)
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+
+class TestAccessors:
+    def test_source_registers_skips_immediates(self):
+        inst = Instruction(
+            opcode=Opcode.IADD, dst=Reg(0), srcs=(Reg(3), Imm(7))
+        )
+        assert inst.source_registers() == (3,)
+
+    def test_source_registers_includes_store_address(self):
+        inst = Instruction(
+            opcode=Opcode.ST_GLOBAL, srcs=(Reg(4), Reg(5)),
+        )
+        assert inst.source_registers() == (4, 5)
+
+    def test_dest_register(self):
+        assert iadd(dst=7).dest_register() == 7
+        store = Instruction(opcode=Opcode.ST_GLOBAL, srcs=(Reg(0), Reg(1)))
+        assert store.dest_register() is None
+
+    def test_unit_property(self):
+        assert iadd().unit is UnitType.SP
+
+    def test_resolution(self):
+        jmp = Instruction(opcode=Opcode.JMP, target="loop")
+        assert not jmp.is_resolved
+        resolved = jmp.resolved(12)
+        assert resolved.is_resolved
+        assert resolved.target == 12
+
+
+class TestDisassembly:
+    def test_alu(self):
+        assert iadd().disassemble() == "iadd %r0, %r1, %r2"
+
+    def test_predicated(self):
+        text = iadd(pred=1, pred_neg=True).disassemble()
+        assert text.startswith("@!p1 ")
+
+    def test_setp_shows_cmp(self):
+        inst = Instruction(
+            opcode=Opcode.SETP, srcs=(Reg(0), Imm(4)), pdst=2, cmp=CmpOp.GE
+        )
+        assert "setp.ge" in inst.disassemble()
+        assert "%p2" in inst.disassemble()
+
+    def test_load_with_offset(self):
+        inst = Instruction(
+            opcode=Opcode.LD_GLOBAL, dst=Reg(1), srcs=(Reg(2),), offset=8
+        )
+        assert "[%r2+8]" in inst.disassemble()
+
+    def test_special_register_rendering(self):
+        inst = Instruction(
+            opcode=Opcode.MOV, dst=Reg(0), srcs=(SReg(SpecialReg.GTID),)
+        )
+        assert "%gtid" in inst.disassemble()
+
+
+class TestAsOperand:
+    def test_passthrough(self):
+        r = Reg(3)
+        assert as_operand(r) is r
+
+    def test_int_to_imm(self):
+        assert as_operand(5) == Imm(5)
+
+    def test_float_to_imm(self):
+        assert as_operand(2.5) == Imm(2.5)
+
+    def test_bool_to_int_imm(self):
+        assert as_operand(True) == Imm(1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            as_operand("nope")

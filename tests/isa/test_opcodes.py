@@ -1,0 +1,91 @@
+"""Unit tests for the opcode table."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    CmpOp,
+    Opcode,
+    UnitType,
+    all_opcodes,
+    op_info,
+)
+
+
+class TestTableCompleteness:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            info = op_info(opcode)
+            assert info.opcode is opcode
+
+    def test_all_opcodes_copy(self):
+        table = all_opcodes()
+        table[Opcode.IADD] = None  # mutating the copy
+        assert op_info(Opcode.IADD) is not None
+
+
+class TestUnitClassification:
+    """The decoder's 2-bit type drives inter-warp DMR (Section 4.3)."""
+
+    def test_arithmetic_is_sp(self):
+        for op in (Opcode.IADD, Opcode.FFMA, Opcode.XOR, Opcode.SETP):
+            assert op_info(op).unit is UnitType.SP
+
+    def test_transcendentals_are_sfu(self):
+        for op in (Opcode.SIN, Opcode.COS, Opcode.SQRT, Opcode.RSQRT,
+                   Opcode.EXP, Opcode.LOG):
+            assert op_info(op).unit is UnitType.SFU
+
+    def test_memory_is_ldst(self):
+        for op in (Opcode.LD_GLOBAL, Opcode.ST_SHARED):
+            assert op_info(op).unit is UnitType.LDST
+
+    def test_type_bits_two_bits_three_values(self):
+        bits = {op_info(op).type_bits for op in Opcode}
+        assert bits == {0, 1, 2}
+
+    def test_type_bits_match_units(self):
+        assert op_info(Opcode.IADD).type_bits == 0
+        assert op_info(Opcode.LD_GLOBAL).type_bits == 1
+        assert op_info(Opcode.SIN).type_bits == 2
+
+
+class TestOperandShapes:
+    def test_ffma_is_3r1w(self):
+        info = op_info(Opcode.FFMA)
+        assert info.num_srcs == 3
+        assert info.writes_reg
+
+    def test_imad_is_3r1w(self):
+        info = op_info(Opcode.IMAD)
+        assert info.num_srcs == 3
+
+    def test_binary_ops_2r1w(self):
+        info = op_info(Opcode.IADD)
+        assert info.num_srcs == 2
+        assert info.writes_reg
+
+    def test_setp_writes_predicate_not_reg(self):
+        info = op_info(Opcode.SETP)
+        assert info.writes_pred
+        assert not info.writes_reg
+
+    def test_stores_read_addr_and_value(self):
+        info = op_info(Opcode.ST_GLOBAL)
+        assert info.num_srcs == 2
+        assert info.is_store and info.is_memory and not info.writes_reg
+
+    def test_loads_read_addr_write_reg(self):
+        info = op_info(Opcode.LD_SHARED)
+        assert info.num_srcs == 1
+        assert info.is_load and info.writes_reg
+
+    def test_control_flags(self):
+        assert op_info(Opcode.BRA).is_control
+        assert op_info(Opcode.JMP).is_control
+        assert op_info(Opcode.EXIT).is_control
+        assert op_info(Opcode.BAR).is_barrier
+
+    def test_cmp_ops_complete(self):
+        assert {c.value for c in CmpOp} == {
+            "eq", "ne", "lt", "le", "gt", "ge"
+        }

@@ -1,0 +1,141 @@
+"""Unit tests for the kernel builder DSL."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.isa.opcodes import CmpOp, Opcode, UnitType
+from repro.isa.operands import Imm, Reg
+from repro.kernel.builder import KernelBuilder
+
+
+class TestRegisterAllocation:
+    def test_fresh_registers_distinct(self):
+        b = KernelBuilder("k")
+        regs = b.regs(5)
+        assert len({r.idx for r in regs}) == 5
+
+    def test_predicates_distinct(self):
+        b = KernelBuilder("k")
+        assert b.pred() != b.pred()
+
+    def test_pc_tracks_emission(self):
+        b = KernelBuilder("k")
+        assert b.pc == 0
+        b.nop()
+        assert b.pc == 1
+
+
+class TestEmission:
+    def test_immediate_coercion(self):
+        b = KernelBuilder("k")
+        r = b.reg()
+        inst = b.iadd(r, r, 7)
+        assert inst.srcs[1] == Imm(7)
+
+    def test_all_alu_helpers_emit_their_opcode(self):
+        b = KernelBuilder("k")
+        r = b.reg()
+        cases = [
+            (b.mov, (r, 1), Opcode.MOV),
+            (b.iadd, (r, r, 1), Opcode.IADD),
+            (b.isub, (r, r, 1), Opcode.ISUB),
+            (b.imul, (r, r, 2), Opcode.IMUL),
+            (b.imad, (r, r, 2, 1), Opcode.IMAD),
+            (b.idiv, (r, r, 2), Opcode.IDIV),
+            (b.irem, (r, r, 2), Opcode.IREM),
+            (b.imin, (r, r, 2), Opcode.IMIN),
+            (b.imax, (r, r, 2), Opcode.IMAX),
+            (b.and_, (r, r, 1), Opcode.AND),
+            (b.or_, (r, r, 1), Opcode.OR),
+            (b.xor, (r, r, 1), Opcode.XOR),
+            (b.not_, (r, r), Opcode.NOT),
+            (b.shl, (r, r, 1), Opcode.SHL),
+            (b.shr, (r, r, 1), Opcode.SHR),
+            (b.fadd, (r, r, 1.0), Opcode.FADD),
+            (b.fsub, (r, r, 1.0), Opcode.FSUB),
+            (b.fmul, (r, r, 2.0), Opcode.FMUL),
+            (b.ffma, (r, r, 2.0, 1.0), Opcode.FFMA),
+            (b.fmin, (r, r, 0.0), Opcode.FMIN),
+            (b.fmax, (r, r, 0.0), Opcode.FMAX),
+            (b.fabs, (r, r), Opcode.FABS),
+            (b.fneg, (r, r), Opcode.FNEG),
+            (b.i2f, (r, r), Opcode.I2F),
+            (b.f2i, (r, r), Opcode.F2I),
+            (b.sin, (r, r), Opcode.SIN),
+            (b.cos, (r, r), Opcode.COS),
+            (b.sqrt, (r, r), Opcode.SQRT),
+            (b.rsqrt, (r, r), Opcode.RSQRT),
+            (b.exp, (r, r), Opcode.EXP),
+            (b.log, (r, r), Opcode.LOG),
+        ]
+        for helper, args, opcode in cases:
+            assert helper(*args).opcode is opcode
+
+    def test_memory_helpers(self):
+        b = KernelBuilder("k")
+        r, a = b.regs(2)
+        assert b.ld_global(r, a, offset=4).offset == 4
+        assert b.st_shared(a, r).opcode is Opcode.ST_SHARED
+
+    def test_special_register_helpers(self):
+        b = KernelBuilder("k")
+        r = b.reg()
+        for helper in (b.tid, b.gtid, b.ctaid, b.ntid):
+            assert helper(r).opcode is Opcode.MOV
+
+    def test_guard_predicate_passthrough(self):
+        b = KernelBuilder("k")
+        r = b.reg()
+        p = b.pred()
+        inst = b.iadd(r, r, 1, pred=p, pred_neg=True)
+        assert inst.pred == p and inst.pred_neg
+
+
+class TestBuild:
+    def test_forward_label_resolution(self):
+        b = KernelBuilder("k")
+        p = b.pred()
+        r = b.reg()
+        b.mov(r, 0)
+        b.setp(p, r, CmpOp.EQ, 0)
+        b.bra("end", pred=p)
+        b.nop()
+        b.label("end")
+        b.exit()
+        program = b.build()
+        assert program.instructions[2].target == 4
+
+    def test_build_is_repeatable(self):
+        b = KernelBuilder("k")
+        b.nop()
+        b.exit()
+        assert b.build().instructions == b.build().instructions
+
+    def test_program_metadata(self):
+        b = KernelBuilder("meta")
+        r0, r1 = b.regs(2)
+        p = b.pred()
+        b.gtid(r0)
+        b.setp(p, r0, CmpOp.LT, 4)
+        b.selp(r1, 1, 2, p)
+        b.sin(r1, r1)
+        b.st_global(r0, r1)
+        b.exit()
+        program = b.build()
+        assert program.name == "meta"
+        assert program.num_registers == 2
+        assert program.num_predicates == 1
+        mix = program.unit_mix()
+        assert mix[UnitType.SFU] == 1
+        assert mix[UnitType.LDST] == 1
+
+    def test_disassemble_includes_labels(self):
+        b = KernelBuilder("k")
+        b.label("start")
+        b.nop()
+        b.exit()
+        assert "start:" in b.build().disassemble()
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(KernelError):
+            KernelBuilder("k").build()

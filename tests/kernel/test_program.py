@@ -1,0 +1,97 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, Opcode, UnitType
+from repro.isa.operands import Reg
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.program import Program
+
+
+def small_program():
+    b = KernelBuilder("small")
+    r0, r1 = b.regs(2)
+    p = b.pred()
+    b.gtid(r0)
+    b.setp(p, r0, CmpOp.LT, 4)
+    b.sin(r1, r0)
+    b.st_global(r0, r1)
+    b.exit()
+    return b.build()
+
+
+class TestProgramValidation:
+    def test_unresolved_target_rejected(self):
+        with pytest.raises(KernelError):
+            Program(
+                name="bad",
+                instructions=(
+                    Instruction(opcode=Opcode.JMP, target="label"),
+                ),
+            )
+
+    def test_must_end_with_exit_or_jmp(self):
+        with pytest.raises(KernelError):
+            Program(
+                name="bad",
+                instructions=(
+                    Instruction(opcode=Opcode.MOV, dst=Reg(0),
+                                srcs=(Reg(1),)),
+                ),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(KernelError):
+            Program(name="empty", instructions=())
+
+    def test_jmp_ending_allowed(self):
+        program = Program(
+            name="spin-free",
+            instructions=(
+                Instruction(opcode=Opcode.EXIT),
+                Instruction(opcode=Opcode.JMP, target=0),
+            ),
+        )
+        assert len(program) == 2
+
+
+class TestProgramAccessors:
+    def test_len_and_indexing(self):
+        program = small_program()
+        assert len(program) == 5
+        assert program[0].opcode is Opcode.MOV
+
+    def test_register_and_predicate_footprint(self):
+        program = small_program()
+        assert program.num_registers == 2
+        assert program.num_predicates == 1
+
+    def test_unit_mix_counts(self):
+        mix = small_program().unit_mix()
+        assert mix[UnitType.SFU] == 1
+        assert mix[UnitType.LDST] == 1
+        assert mix[UnitType.SP] == 3  # mov, setp, exit
+
+    def test_from_instructions_computes_reconvergence(self):
+        b = KernelBuilder("div")
+        r = b.reg()
+        p = b.pred()
+        b.gtid(r)
+        b.setp(p, r, CmpOp.LT, 4)
+        b.bra("end", pred=p)
+        b.nop()
+        b.label("end")
+        b.exit()
+        built = b.build()
+        rebuilt = Program.from_instructions("div2", built.instructions)
+        assert dict(rebuilt.reconvergence) == dict(built.reconvergence)
+
+    def test_disassemble_one_line_per_instruction(self):
+        program = small_program()
+        body_lines = [
+            line for line in program.disassemble().splitlines()
+            if not line.endswith(":")
+        ]
+        assert len(body_lines) == len(program)

@@ -1,0 +1,121 @@
+"""Tests for the reusable kernel snippets."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.isa.opcodes import CmpOp
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.snippets import (
+    emit_clamp,
+    emit_iabs,
+    emit_pred_and,
+    emit_pred_or,
+    emit_range_check,
+    emit_rotl,
+)
+
+from tests.conftest import run_program
+
+
+def run_unary(emit, inputs, tiny_config):
+    """Run a snippet as out[gtid] = f(in[gtid]) and return outputs."""
+    b = KernelBuilder("snippet")
+    gid, v, t1, t2 = b.regs(4)
+    b.gtid(gid)
+    b.ld_global(v, gid)
+    emit(b, v, t1, t2)
+    b.st_global(gid, v, offset=len(inputs))
+    b.exit()
+    program = b.build()
+    from repro.sim.memory import GlobalMemory
+    memory = GlobalMemory()
+    memory.write_block(0, inputs)
+    run_program(program, tiny_config, block=len(inputs), memory=memory)
+    return memory.read_block(len(inputs), len(inputs))
+
+
+class TestRotl:
+    def test_matches_python(self, tiny_config):
+        inputs = [1, 0x80000000 - (1 << 32) + 2**31, 0x12345678, -1]
+        inputs = [v if v < 2**31 else v - 2**32 for v in inputs]
+        out = run_unary(
+            lambda b, v, t1, t2: emit_rotl(b, v, v, 5, t1, t2),
+            inputs, tiny_config,
+        )
+        for got, value in zip(out, inputs):
+            u = value & 0xFFFFFFFF
+            expected = ((u << 5) | (u >> 27)) & 0xFFFFFFFF
+            expected = expected - (1 << 32) if expected >= 2**31 else expected
+            assert got == expected
+
+    def test_amount_validation(self):
+        b = KernelBuilder("bad")
+        r1, r2, r3 = b.regs(3)
+        with pytest.raises(KernelError):
+            emit_rotl(b, r1, r1, 0, r2, r3)
+        with pytest.raises(KernelError):
+            emit_rotl(b, r1, r1, 32, r2, r3)
+
+
+class TestIabsAndClamp:
+    def test_iabs(self, tiny_config):
+        inputs = [-5, 0, 7, -(1 << 30)]
+        out = run_unary(
+            lambda b, v, t1, t2: emit_iabs(b, v, v, t1),
+            inputs, tiny_config,
+        )
+        assert out == [5, 0, 7, 1 << 30]
+
+    def test_clamp(self, tiny_config):
+        inputs = [-10, 0, 5, 99]
+        out = run_unary(
+            lambda b, v, t1, t2: emit_clamp(b, v, v, 0, 9),
+            inputs, tiny_config,
+        )
+        assert out == [0, 0, 5, 9]
+
+    def test_clamp_validation(self):
+        b = KernelBuilder("bad")
+        r = b.reg()
+        with pytest.raises(KernelError):
+            emit_clamp(b, r, r, 9, 0)
+
+
+class TestPredicateLogic:
+    def _run_logic(self, emit_op, tiny_config):
+        # out = (gid >= 8) OP (gid < 24), encoded as 1/0
+        b = KernelBuilder("logic")
+        gid, out, t1, t2 = b.regs(4)
+        pa, pb, pr = b.pred(), b.pred(), b.pred()
+        b.gtid(gid)
+        b.setp(pa, gid, CmpOp.GE, 8)
+        b.setp(pb, gid, CmpOp.LT, 24)
+        emit_op(b, pr, pa, pb, t1, t2)
+        b.selp(out, 1, 0, pr)
+        b.st_global(gid, out)
+        b.exit()
+        _, memory = run_program(b.build(), tiny_config, block=32)
+        return [memory.load(g) for g in range(32)]
+
+    def test_and(self, tiny_config):
+        out = self._run_logic(emit_pred_and, tiny_config)
+        for g in range(32):
+            assert out[g] == (1 if 8 <= g < 24 else 0)
+
+    def test_or(self, tiny_config):
+        out = self._run_logic(emit_pred_or, tiny_config)
+        for g in range(32):
+            assert out[g] == (1 if (g >= 8 or g < 24) else 0)
+
+    def test_range_check(self, tiny_config):
+        b = KernelBuilder("range")
+        gid, out, t1, t2 = b.regs(4)
+        pr, ps = b.pred(), b.pred()
+        b.gtid(gid)
+        emit_range_check(b, pr, gid, 5, 20, t1, t2, ps)
+        b.selp(out, 1, 0, pr)
+        b.st_global(gid, out)
+        b.exit()
+        _, memory = run_program(b.build(), tiny_config, block=32)
+        for g in range(32):
+            assert memory.load(g) == (1 if 5 <= g < 20 else 0)

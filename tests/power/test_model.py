@@ -1,0 +1,80 @@
+"""Unit tests for the analytical power model."""
+
+import pytest
+
+from repro.common.config import DMRConfig, GPUConfig
+from repro.common.errors import ConfigError
+from repro.power.model import PowerModel
+from repro.power.params import PowerParams
+from repro.workloads import get_workload
+from repro.sim.gpu import GPU
+
+
+@pytest.fixture(scope="module")
+def scan_runs():
+    workload = get_workload("scan")
+    config = GPUConfig.small(2)
+    base_run = workload.prepare(scale=0.5)
+    base = GPU(config, dmr=DMRConfig.disabled()).launch(
+        base_run.program, base_run.launch, memory=base_run.memory
+    )
+    dmr_run = workload.prepare(scale=0.5)
+    dmr = GPU(config, dmr=DMRConfig.paper_default()).launch(
+        dmr_run.program, dmr_run.launch, memory=dmr_run.memory
+    )
+    return config, base, dmr
+
+
+class TestPowerModel:
+    def test_report_structure(self, scan_runs):
+        config, base, _ = scan_runs
+        report = PowerModel(config).report(base)
+        assert report.total_power_w > report.runtime_power_w > 0
+        assert set(report.component_power_w) == {
+            "SP", "SFU", "LDST", "RF", "FDS", "ReplayQ"
+        }
+
+    def test_access_rates_bounded(self, scan_runs):
+        config, base, _ = scan_runs
+        report = PowerModel(config).report(base)
+        params = PowerParams()
+        assert report.component_power_w["SP"] <= params.max_power_sp
+        assert report.component_power_w["RF"] <= params.max_power_regfile
+
+    def test_baseline_has_no_replayq_power(self, scan_runs):
+        config, base, _ = scan_runs
+        report = PowerModel(config).report(base)
+        assert report.component_power_w["ReplayQ"] == 0.0
+
+    def test_dmr_consumes_more_power_and_energy(self, scan_runs):
+        config, base, dmr = scan_runs
+        model = PowerModel(config)
+        ratios = model.report(dmr).normalized_to(model.report(base))
+        assert 1.0 < ratios["power"] < 1.5
+        assert ratios["energy"] >= ratios["power"] * 0.95
+
+    def test_energy_is_power_times_time(self, scan_runs):
+        config, base, _ = scan_runs
+        report = PowerModel(config).report(base)
+        time_s = base.cycles * config.clock_period_ns * 1e-9
+        assert report.energy_j == pytest.approx(
+            report.total_power_w * time_s
+        )
+
+    def test_static_share_realistic_at_paper_scale(self):
+        """Static power should be roughly 60% of a typical total on the
+        paper's 30-SM chip (Section 3.4)."""
+        params = PowerParams()
+        static = params.static_per_sm * 30 + params.static_chip
+        # a typical runtime estimate: ~half-active units on 30 SMs
+        per_sm_dynamic = (
+            0.5 * (params.max_power_sp + params.max_power_ldst
+                   + params.max_power_regfile + params.max_power_fds)
+            + params.constant_per_sm
+        )
+        total = static + 30 * per_sm_dynamic
+        assert 0.4 <= static / total <= 0.75
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerParams(max_power_sp=-1.0)

@@ -1,0 +1,127 @@
+"""Scalar reference interpreter for differential testing.
+
+Executes a :class:`~repro.kernel.program.Program` one thread at a time,
+each thread following its own control flow with no SIMT stack, no
+masks, and no timing — the semantics a warp-based execution must match
+exactly.  Arithmetic goes through the same :func:`compute_lane` pure
+ALU as the simulator, so any divergence between the two executions is a
+control-flow/masking bug, not a semantics difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Imm, Reg, SReg, SpecialReg
+from repro.sim.executor import compute_lane
+
+
+class ScalarThread:
+    """One thread's architectural state."""
+
+    def __init__(self, tid: int, block_id: int, block_dim: int,
+                 grid_dim: int, num_regs: int, num_preds: int) -> None:
+        self.tid = tid
+        self.block_id = block_id
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.regs: List[object] = [0] * num_regs
+        self.preds: List[bool] = [False] * num_preds
+
+    @property
+    def gtid(self) -> int:
+        return self.block_id * self.block_dim + self.tid
+
+    def operand(self, op) -> object:
+        if isinstance(op, Reg):
+            return self.regs[op.idx]
+        if isinstance(op, Imm):
+            return op.value
+        if isinstance(op, SReg):
+            return {
+                SpecialReg.TID: self.tid,
+                SpecialReg.NTID: self.block_dim,
+                SpecialReg.CTAID: self.block_id,
+                SpecialReg.NCTAID: self.grid_dim,
+                SpecialReg.GTID: self.gtid,
+                SpecialReg.LANEID: self.tid % 32,
+            }[op.kind]
+        raise TypeError(f"unknown operand {op!r}")
+
+
+def run_scalar_thread(program, thread: ScalarThread,
+                      global_memory: Dict[int, object],
+                      shared_memory: Dict[int, object],
+                      max_steps: int = 100_000) -> None:
+    """Run one thread to EXIT, mutating the memories in place.
+
+    Barriers are no-ops (callers must only use programs whose shared
+    data flow is per-thread-private for differential runs).
+    """
+    pc = 0
+    steps = 0
+    while True:
+        steps += 1
+        assert steps < max_steps, "scalar reference did not terminate"
+        inst: Instruction = program[pc]
+        op = inst.opcode
+
+        if op is Opcode.EXIT:
+            return
+        if op is Opcode.BAR or op is Opcode.NOP:
+            pc += 1
+            continue
+        if op is Opcode.JMP:
+            pc = int(inst.target)
+            continue
+        if op is Opcode.BRA:
+            condition = thread.preds[inst.pred] != inst.pred_neg
+            pc = int(inst.target) if condition else pc + 1
+            continue
+
+        # guarded execution
+        if inst.pred is not None and thread.preds[inst.pred] == inst.pred_neg:
+            pc += 1
+            continue
+
+        if op is Opcode.SETP:
+            inputs = tuple(thread.operand(s) for s in inst.srcs)
+            thread.preds[inst.pdst] = bool(compute_lane(inst, inputs))
+        elif op is Opcode.SELP:
+            inputs = tuple(thread.operand(s) for s in inst.srcs)
+            inputs = inputs + (thread.preds[inst.psrc],)
+            thread.regs[inst.dst.idx] = compute_lane(inst, inputs)
+        elif inst.info.is_load:
+            addr = compute_lane(inst, (thread.operand(inst.srcs[0]),))
+            memory = (global_memory if op is Opcode.LD_GLOBAL
+                      else shared_memory)
+            thread.regs[inst.dst.idx] = memory.get(addr, 0)
+        elif inst.info.is_store:
+            inputs = tuple(thread.operand(s) for s in inst.srcs)
+            addr = compute_lane(inst, inputs)
+            memory = (global_memory if op is Opcode.ST_GLOBAL
+                      else shared_memory)
+            memory[addr] = inputs[1]
+        else:
+            inputs = tuple(thread.operand(s) for s in inst.srcs)
+            result = compute_lane(inst, inputs)
+            if inst.dst is not None:
+                thread.regs[inst.dst.idx] = result
+        pc += 1
+
+
+def run_scalar_block(program, block_id: int, block_dim: int,
+                     grid_dim: int,
+                     global_memory: Dict[int, object]) -> None:
+    """Run every thread of one block sequentially."""
+    shared: Dict[int, object] = {}
+    for tid in range(block_dim):
+        thread = ScalarThread(
+            tid=tid, block_id=block_id, block_dim=block_dim,
+            grid_dim=grid_dim,
+            num_regs=max(1, program.num_registers),
+            num_preds=max(1, program.num_predicates),
+        )
+        run_scalar_thread(program, thread, global_memory, shared)

@@ -1,0 +1,53 @@
+"""Unit tests for IssueEvent, the sim<->DMR interface record."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, UnitType
+from repro.isa.operands import Reg
+from repro.sim.events import IssueEvent
+
+
+def make(mask=0xFFFFFFFF, width=32, opcode=Opcode.FFMA):
+    inst = Instruction(
+        opcode=opcode, dst=Reg(0), srcs=(Reg(1), Reg(2), Reg(3)),
+    )
+    return IssueEvent(
+        cycle=7, sm_id=1, warp_id=3, pc=12, instruction=inst,
+        logical_mask=mask, hw_mask=mask, warp_width=width,
+        dest_reg=0,
+    )
+
+
+class TestIssueEvent:
+    def test_full_mask_detection(self):
+        assert make(0xFFFFFFFF).is_full
+        assert not make(0x7FFFFFFF).is_full
+
+    def test_active_count(self):
+        assert make(0xFFFFFFFF).active_count == 32
+        assert make(0b1011).active_count == 3
+
+    def test_full_depends_on_width(self):
+        # a 16-wide warp with 16 active lanes is full
+        assert make(0xFFFF, width=16).is_full
+        assert not make(0xFFFF, width=32).is_full
+
+    def test_unit_forwarding(self):
+        assert make().unit is UnitType.SP
+        load = Instruction(opcode=Opcode.LD_GLOBAL, dst=Reg(0),
+                           srcs=(Reg(1),))
+        event = IssueEvent(
+            cycle=0, sm_id=0, warp_id=0, pc=0, instruction=load,
+            logical_mask=1, hw_mask=1, warp_width=32,
+        )
+        assert event.unit is UnitType.LDST
+
+    def test_repr_is_informative(self):
+        text = repr(make(0b11))
+        assert "warp=3" in text
+        assert "2/32" in text
+        assert "ffma" in text
+
+    def test_lane_capture_defaults_empty(self):
+        event = make()
+        assert event.lane_inputs == {}
+        assert event.lane_results == {}

@@ -1,0 +1,138 @@
+"""Warp-level executor semantics: guards, special registers, memory."""
+
+import pytest
+
+from repro.common.config import MappingPolicy
+from repro.isa.opcodes import CmpOp
+from repro.kernel.builder import KernelBuilder
+
+from tests.conftest import run_program
+from repro.common.config import GPUConfig
+
+
+class TestGuardPredicates:
+    def test_guarded_store_only_where_true(self, tiny_config):
+        b = KernelBuilder("guard")
+        gid, t = b.regs(2)
+        p = b.pred()
+        b.gtid(gid)
+        b.irem(t, gid, 4)
+        b.setp(p, t, CmpOp.EQ, 0)
+        b.st_global(gid, 1, pred=p)
+        b.st_global(gid, 2, offset=64, pred=p, pred_neg=True)
+        b.exit()
+        _, memory = run_program(b.build(), tiny_config, block=32)
+        for g in range(32):
+            if g % 4 == 0:
+                assert memory.load(g) == 1
+                assert memory.load(64 + g) == 0
+            else:
+                assert memory.load(g) == 0
+                assert memory.load(64 + g) == 2
+
+    def test_guarded_alu_preserves_old_value(self, tiny_config):
+        b = KernelBuilder("guard_alu")
+        gid, v = b.regs(2)
+        p = b.pred()
+        b.gtid(gid)
+        b.mov(v, 100)
+        b.setp(p, gid, CmpOp.LT, 8)
+        b.mov(v, 200, pred=p)
+        b.st_global(gid, v)
+        b.exit()
+        _, memory = run_program(b.build(), tiny_config, block=32)
+        for g in range(32):
+            assert memory.load(g) == (200 if g < 8 else 100)
+
+    def test_guarded_setp(self, tiny_config):
+        # setp under a guard only updates predicates of guarded lanes
+        b = KernelBuilder("guard_setp")
+        gid, out = b.regs(2)
+        p, q = b.pred(), b.pred()
+        b.gtid(gid)
+        b.setp(q, gid, CmpOp.GE, 0)          # q = True everywhere
+        b.setp(p, gid, CmpOp.LT, 16)         # p: lower half
+        b.setp(q, gid, CmpOp.LT, 0, pred=p)  # q = False only where p
+        b.selp(out, 1, 0, q)
+        b.st_global(gid, out)
+        b.exit()
+        _, memory = run_program(b.build(), tiny_config, block=32)
+        for g in range(32):
+            assert memory.load(g) == (0 if g < 16 else 1)
+
+
+class TestSpecialRegisters:
+    def test_ntid_nctaid_ctaid(self, tiny_config):
+        from repro.isa.operands import SReg, SpecialReg
+        b = KernelBuilder("ids")
+        gid, v = b.regs(2)
+        b.gtid(gid)
+        b.mov(v, SReg(SpecialReg.NTID))
+        b.st_global(gid, v)
+        b.mov(v, SReg(SpecialReg.CTAID))
+        b.st_global(gid, v, offset=256)
+        b.mov(v, SReg(SpecialReg.NCTAID))
+        b.st_global(gid, v, offset=512)
+        b.exit()
+        _, memory = run_program(b.build(), tiny_config, grid=3, block=48)
+        for g in range(3 * 48):
+            assert memory.load(g) == 48
+            assert memory.load(256 + g) == g // 48
+            assert memory.load(512 + g) == 3
+
+    def test_laneid_reflects_mapping(self):
+        from dataclasses import replace
+        from repro.common.config import DMRConfig
+        from repro.isa.operands import SReg, SpecialReg
+
+        b = KernelBuilder("lanes")
+        gid, v = b.regs(2)
+        b.gtid(gid)
+        b.mov(v, SReg(SpecialReg.LANEID))
+        b.st_global(gid, v)
+        b.exit()
+        program = b.build()
+
+        config = GPUConfig.small(1)
+        # in-order mapping: laneid == tid within warp
+        _, memory = run_program(program, config, block=32)
+        assert [memory.load(g) for g in range(8)] == list(range(8))
+        # cross mapping: thread j lands on lane (j%8)*4 + j//8
+        dmr = DMRConfig(mapping=MappingPolicy.CROSS)
+        _, memory = run_program(program, config, block=32, dmr=dmr)
+        assert [memory.load(g) for g in range(4)] == [0, 4, 8, 12]
+
+
+class TestMemorySemantics:
+    def test_global_store_load_between_warps_of_block(self, tiny_config):
+        # warp 0 writes, barrier, warp 1 reads
+        b = KernelBuilder("cross_warp")
+        tid, gid, v, addr = b.regs(4)
+        p = b.pred()
+        b.tid(tid)
+        b.gtid(gid)
+        b.setp(p, tid, CmpOp.LT, 32)
+        b.st_shared(tid, tid, pred=p)
+        b.bar()
+        b.setp(p, tid, CmpOp.GE, 32)
+        b.isub(addr, tid, 32, pred=p)
+        b.ld_shared(v, addr, pred=p)
+        b.st_global(gid, v, pred=p)
+        b.exit()
+        _, memory = run_program(b.build(), tiny_config, block=64)
+        for t in range(32, 64):
+            assert memory.load(t) == t - 32
+
+    def test_store_then_load_same_thread(self, tiny_config):
+        b = KernelBuilder("roundtrip")
+        gid, v = b.regs(2)
+        b.gtid(gid)
+        b.imul(v, gid, 3)
+        b.st_global(gid, v, offset=128)
+        b.ld_global(v, gid, offset=128)
+        b.iadd(v, v, 1)
+        b.st_global(gid, v)
+        b.exit()
+        _, memory = run_program(b.build(), tiny_config, block=32)
+        for g in range(32):
+            assert memory.load(g) == 3 * g + 1

@@ -1,0 +1,81 @@
+"""Latency-model tests: the configured unit latencies must matter."""
+
+from dataclasses import replace
+
+from repro.common.config import GPUConfig
+from repro.kernel.builder import KernelBuilder
+
+from tests.conftest import run_program
+
+
+def chain_kernel(op_emit, length=10):
+    """A serial dependence chain of *length* ops built by *op_emit*."""
+    b = KernelBuilder("chain")
+    gid, v = b.regs(2)
+    b.gtid(gid)
+    b.mov(v, 1.0)
+    for _ in range(length):
+        op_emit(b, v)
+    b.st_global(gid, v)
+    b.exit()
+    return b.build()
+
+
+class TestUnitLatencies:
+    def test_sfu_chain_slower_than_sp_chain(self, tiny_config):
+        sp = chain_kernel(lambda b, v: b.fadd(v, v, 1.0))
+        sfu = chain_kernel(lambda b, v: b.sqrt(v, v))
+        sp_result, _ = run_program(sp, tiny_config, block=32)
+        sfu_result, _ = run_program(sfu, tiny_config, block=32)
+        assert sfu_result.cycles > sp_result.cycles
+
+    def test_global_load_chain_slower_than_shared(self, tiny_config):
+        def make(loader):
+            b = KernelBuilder("loads")
+            gid, v = b.regs(2)
+            b.gtid(gid)
+            b.mov(v, 0)
+            for _ in range(6):
+                loader(b, v)  # v = mem[v]: serial pointer chase
+            b.st_global(gid, v, offset=4096)
+            b.exit()
+            return b.build()
+
+        global_chain = make(lambda b, v: b.ld_global(v, v))
+        shared_chain = make(lambda b, v: b.ld_shared(v, v))
+        g_result, _ = run_program(global_chain, tiny_config, block=32)
+        s_result, _ = run_program(shared_chain, tiny_config, block=32)
+        assert g_result.cycles > s_result.cycles
+
+    def test_longer_global_latency_slows_kernel(self):
+        def pointer_chase():
+            b = KernelBuilder("chase")
+            gid, v = b.regs(2)
+            b.gtid(gid)
+            b.mov(v, 0)
+            for _ in range(5):
+                b.ld_global(v, v)
+            b.st_global(gid, v, offset=64)
+            b.exit()
+            return b.build()
+
+        fast = GPUConfig.small(1)
+        slow = replace(fast, ldst_global_latency=200)
+        fast_result, _ = run_program(pointer_chase(), fast, block=32)
+        slow_result, _ = run_program(pointer_chase(), slow, block=32)
+        assert slow_result.cycles > fast_result.cycles + 100
+
+    def test_latency_hidden_by_other_warps(self, tiny_config):
+        """More resident warps hide global-load latency: cycles grow
+        sublinearly with warp count."""
+        b = KernelBuilder("hide")
+        gid, v = b.regs(2)
+        b.gtid(gid)
+        b.ld_global(v, gid)
+        b.fadd(v, v, 1.0)
+        b.st_global(gid, v, offset=2048)
+        b.exit()
+        program = b.build()
+        one, _ = run_program(program, tiny_config, block=32)
+        eight, _ = run_program(program, tiny_config, block=256)
+        assert eight.cycles < 8 * one.cycles

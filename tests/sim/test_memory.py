@@ -1,0 +1,70 @@
+"""Unit tests for global and shared memory models."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.memory import GlobalMemory, SharedMemory
+
+
+class TestGlobalMemory:
+    def test_unwritten_reads_zero(self):
+        assert GlobalMemory().load(12345) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = GlobalMemory()
+        mem.store(7, 3.5)
+        assert mem.load(7) == 3.5
+
+    def test_out_of_range_rejected(self):
+        mem = GlobalMemory(size_words=16)
+        with pytest.raises(SimulationError):
+            mem.load(16)
+        with pytest.raises(SimulationError):
+            mem.store(-1, 0)
+
+    def test_non_integer_address_rejected(self):
+        with pytest.raises(SimulationError):
+            GlobalMemory().load(1.5)
+
+    def test_bulk_roundtrip(self):
+        mem = GlobalMemory()
+        mem.write_block(100, [1, 2, 3])
+        assert mem.read_block(100, 3) == [1, 2, 3]
+
+    def test_numpy_scalars_coerced(self):
+        import numpy as np
+        mem = GlobalMemory()
+        mem.write_block(0, np.array([1.5, 2.5]))
+        values = mem.read_block(0, 2)
+        assert values == [1.5, 2.5]
+        assert all(isinstance(v, float) for v in values)
+
+    def test_footprint(self):
+        mem = GlobalMemory()
+        mem.write_block(0, [1, 2, 3])
+        mem.store(0, 9)  # overwrite, not a new word
+        assert mem.footprint_words == 3
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SimulationError):
+            GlobalMemory(size_words=0)
+
+
+class TestSharedMemory:
+    def test_initially_zero(self):
+        assert SharedMemory(8).load(3) == 0
+
+    def test_roundtrip(self):
+        mem = SharedMemory(8)
+        mem.store(2, -5)
+        assert mem.load(2) == -5
+
+    def test_bounds(self):
+        mem = SharedMemory(8)
+        with pytest.raises(SimulationError):
+            mem.load(8)
+
+    def test_fill(self):
+        mem = SharedMemory(8)
+        mem.fill([9, 8, 7], base=2)
+        assert [mem.load(i) for i in (2, 3, 4)] == [9, 8, 7]

@@ -1,0 +1,73 @@
+"""Unit tests for warp schedulers."""
+
+from repro.common.config import SchedulerPolicy
+from repro.sim.scheduler import WarpScheduler
+from repro.sim.warp import ThreadBlock, Warp
+
+
+def make_warps(n):
+    block = ThreadBlock(0, block_dim=32 * n, warp_size=32, shared_words=64)
+    warps = [
+        Warp(i, block, warp_base=32 * i, warp_size=32,
+             num_registers=1, num_predicates=1,
+             lane_of_slot=list(range(32)), grid_dim=1)
+        for i in range(n)
+    ]
+    block.attach_warps(warps)
+    return warps
+
+
+def always_ready(warp):
+    return True
+
+
+class TestRoundRobin:
+    def test_cycles_through_warps(self):
+        warps = make_warps(3)
+        sched = WarpScheduler(SchedulerPolicy.ROUND_ROBIN)
+        picks = [sched.select(warps, 0, always_ready).warp_id
+                 for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_unready(self):
+        warps = make_warps(3)
+        warps[1].barrier_blocked = True
+        sched = WarpScheduler(SchedulerPolicy.ROUND_ROBIN)
+        picks = [sched.select(warps, 0, always_ready).warp_id
+                 for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_none_when_all_blocked(self):
+        warps = make_warps(2)
+        for warp in warps:
+            warp.barrier_blocked = True
+        sched = WarpScheduler(SchedulerPolicy.ROUND_ROBIN)
+        assert sched.select(warps, 0, always_ready) is None
+
+    def test_empty_list(self):
+        sched = WarpScheduler(SchedulerPolicy.ROUND_ROBIN)
+        assert sched.select([], 0, always_ready) is None
+
+    def test_respects_ready_callback(self):
+        warps = make_warps(2)
+        sched = WarpScheduler(SchedulerPolicy.ROUND_ROBIN)
+        only_one = lambda w: w.warp_id == 1
+        assert sched.select(warps, 0, only_one).warp_id == 1
+
+
+class TestGreedyThenOldest:
+    def test_sticks_with_current_warp(self):
+        warps = make_warps(3)
+        sched = WarpScheduler(SchedulerPolicy.GREEDY_THEN_OLDEST)
+        picks = [sched.select(warps, 0, always_ready).warp_id
+                 for _ in range(4)]
+        assert picks == [0, 0, 0, 0]
+
+    def test_falls_back_to_oldest_when_greedy_stalls(self):
+        warps = make_warps(3)
+        sched = WarpScheduler(SchedulerPolicy.GREEDY_THEN_OLDEST)
+        assert sched.select(warps, 0, always_ready).warp_id == 0
+        warps[0].barrier_blocked = True
+        assert sched.select(warps, 0, always_ready).warp_id == 1
+        # ...and now it greedily stays on warp 1
+        assert sched.select(warps, 0, always_ready).warp_id == 1

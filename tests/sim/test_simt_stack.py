@@ -1,0 +1,153 @@
+"""Unit tests for the SIMT reconvergence stack."""
+
+import pytest
+
+from repro.common.bitops import full_mask
+from repro.common.errors import SimulationError
+from repro.kernel.cfg import EXIT_NODE
+from repro.sim.simt_stack import SIMTStack
+
+
+class TestBasics:
+    def test_initial_state(self):
+        stack = SIMTStack(full_mask(4))
+        assert stack.current_pc == 0
+        assert stack.current_mask == 0b1111
+        assert not stack.done
+        assert stack.depth == 1
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(SimulationError):
+            SIMTStack(0)
+
+    def test_advance(self):
+        stack = SIMTStack(full_mask(2))
+        stack.advance()
+        assert stack.current_pc == 1
+
+    def test_jump(self):
+        stack = SIMTStack(full_mask(2))
+        stack.jump(10)
+        assert stack.current_pc == 10
+
+    def test_thread_exit_all(self):
+        stack = SIMTStack(full_mask(4))
+        stack.thread_exit(0b1111)
+        assert stack.done
+
+
+class TestUniformBranches:
+    def test_none_taken_falls_through(self):
+        stack = SIMTStack(full_mask(4))
+        stack.jump(5)
+        stack.branch(0, target=9, fallthrough_pc=6, reconvergence_pc=8)
+        assert stack.current_pc == 6
+        assert stack.depth == 1
+
+    def test_all_taken_jumps(self):
+        stack = SIMTStack(full_mask(4))
+        stack.jump(5)
+        stack.branch(0b1111, target=9, fallthrough_pc=6, reconvergence_pc=12)
+        assert stack.current_pc == 9
+        assert stack.depth == 1
+
+
+class TestDivergence:
+    def test_not_taken_executes_first(self):
+        stack = SIMTStack(full_mask(4))
+        stack.jump(5)
+        stack.branch(0b0011, target=9, fallthrough_pc=6, reconvergence_pc=12)
+        assert stack.current_pc == 6           # fall-through side first
+        assert stack.current_mask == 0b1100    # the not-taken lanes
+
+    def test_taken_side_after_not_taken_pops(self):
+        stack = SIMTStack(full_mask(4))
+        stack.jump(5)
+        stack.branch(0b0011, target=9, fallthrough_pc=6, reconvergence_pc=12)
+        # not-taken block runs 6..8 then jumps over the taken block to
+        # the reconvergence point, popping its entry
+        stack.advance()  # 7
+        stack.advance()  # 8
+        stack.jump(12)
+        assert stack.current_pc == 9
+        assert stack.current_mask == 0b0011    # taken side now
+
+    def test_full_reconvergence_restores_mask(self):
+        stack = SIMTStack(full_mask(4))
+        stack.jump(5)
+        stack.branch(0b0011, target=9, fallthrough_pc=6, reconvergence_pc=12)
+        stack.jump(12)      # not-taken side done
+        stack.advance()     # taken side 9 -> 10
+        stack.advance()     # 10 -> 11
+        stack.advance()     # 11 -> 12: pops, reconverged
+        assert stack.current_pc == 12
+        assert stack.current_mask == 0b1111
+        assert stack.depth == 1
+
+    def test_taken_mask_must_be_subset(self):
+        stack = SIMTStack(0b0011)
+        with pytest.raises(SimulationError):
+            stack.branch(0b0100, target=2, fallthrough_pc=1,
+                         reconvergence_pc=3)
+
+    def test_exit_node_reconvergence_splits_for_good(self):
+        stack = SIMTStack(full_mask(4))
+        stack.branch(0b0011, target=9, fallthrough_pc=1,
+                     reconvergence_pc=EXIT_NODE)
+        assert stack.current_pc == 1
+        assert stack.current_mask == 0b1100
+        stack.thread_exit(0b1100)
+        assert stack.current_pc == 9
+        assert stack.current_mask == 0b0011
+        stack.thread_exit(0b0011)
+        assert stack.done
+
+
+class TestLoopDivergence:
+    """The cascading-pop regression: threads leaving a loop at different
+    trip counts must all reconverge at the loop exit."""
+
+    def test_staggered_loop_exit(self):
+        # Loop body at pc 1..3, branch at 3 -> target 1, reconv (exit) 4.
+        stack = SIMTStack(full_mask(4))
+        stack.advance()  # pc 1
+        trip = {0: 1, 1: 2, 2: 2, 3: 4}  # per-thread trip counts
+        iteration = 0
+        guard = 0
+        while stack.current_pc != 4:
+            guard += 1
+            assert guard < 100, "loop divergence failed to converge"
+            if stack.current_pc in (1, 2):
+                stack.advance()
+                continue
+            assert stack.current_pc == 3
+            iteration += 1
+            mask = stack.current_mask
+            taken = 0
+            for lane in range(4):
+                if (mask >> lane) & 1 and trip[lane] > iteration:
+                    taken |= 1 << lane
+            stack.branch(taken, target=1, fallthrough_pc=4,
+                         reconvergence_pc=4)
+        assert stack.current_mask == 0b1111
+        assert stack.depth == 1
+
+    def test_nested_divergence_inside_loop(self):
+        stack = SIMTStack(full_mask(4))
+        # outer divergence at pc 0: lanes 0,1 take pc 10, lanes 2,3 at 1
+        stack.branch(0b0011, target=10, fallthrough_pc=1,
+                     reconvergence_pc=20)
+        assert (stack.current_pc, stack.current_mask) == (1, 0b1100)
+        # inner divergence on the not-taken side
+        stack.branch(0b0100, target=5, fallthrough_pc=2,
+                     reconvergence_pc=7)
+        assert (stack.current_pc, stack.current_mask) == (2, 0b1000)
+        stack.jump(7)   # inner not-taken reaches inner reconv -> pops
+        assert (stack.current_pc, stack.current_mask) == (5, 0b0100)
+        stack.jump(7)   # inner taken reaches reconv
+        assert (stack.current_pc, stack.current_mask) == (7, 0b1100)
+        stack.jump(20)  # outer not-taken side done
+        assert (stack.current_pc, stack.current_mask) == (10, 0b0011)
+        stack.jump(20)  # outer taken side done
+        assert (stack.current_pc, stack.current_mask) == (20, 0b1111)
+        assert stack.depth == 1

@@ -1,0 +1,171 @@
+"""Integration tests for the SM pipeline and GPU top level."""
+
+import pytest
+
+from repro.common.config import DMRConfig, GPUConfig, LaunchConfig
+from repro.common.errors import SimulationError
+from repro.isa.opcodes import CmpOp
+from repro.kernel.builder import KernelBuilder
+from repro.sim.gpu import GPU
+from repro.sim.memory import GlobalMemory
+
+from tests.conftest import (
+    build_counting_kernel,
+    build_divergent_kernel,
+    run_program,
+)
+
+
+class TestFunctionalExecution:
+    def test_counting_kernel(self, tiny_config):
+        program = build_counting_kernel(iterations=4)
+        result, memory = run_program(program, tiny_config, grid=1, block=32)
+        for g in range(32):
+            assert memory.load(g) == 4 * g
+
+    def test_divergent_kernel(self, tiny_config):
+        program = build_divergent_kernel()
+        result, memory = run_program(program, tiny_config, grid=1, block=32)
+        for g in range(32):
+            expected = 2 * g if g % 2 == 0 else 3 * g
+            assert memory.load(g) == expected
+        assert result.stats.value("divergent_branches") > 0
+
+    def test_multi_block_multi_sm(self, small_config):
+        program = build_counting_kernel(iterations=2)
+        result, memory = run_program(program, small_config, grid=4, block=64)
+        assert len(result.per_sm_cycles) == 2
+        for g in range(4 * 64):
+            assert memory.load(g) == 2 * g
+
+    def test_partial_warp(self, tiny_config):
+        program = build_counting_kernel(iterations=1)
+        result, memory = run_program(program, tiny_config, grid=1, block=20)
+        for g in range(20):
+            assert memory.load(g) == g
+        # 20-thread warp never issues a 32-active instruction
+        histogram = result.stats.histogram("active_threads")
+        assert histogram.count(32) == 0
+        assert histogram.count(20) > 0
+
+    def test_barrier_synchronizes_shared_memory(self, tiny_config):
+        # thread i writes shared[i], reads shared[(i+1) % n] after bar
+        b = KernelBuilder("neighbors")
+        tid, nxt, v, gid = b.regs(4)
+        b.tid(tid)
+        b.gtid(gid)
+        b.st_shared(tid, tid)
+        b.bar()
+        b.iadd(nxt, tid, 1)
+        b.irem(nxt, nxt, 64)
+        b.ld_shared(v, nxt)
+        b.st_global(gid, v)
+        b.exit()
+        program = b.build()
+        result, memory = run_program(program, tiny_config, grid=1, block=64)
+        for t in range(64):
+            assert memory.load(t) == (t + 1) % 64
+
+    def test_shared_memory_isolated_between_blocks(self, tiny_config):
+        b = KernelBuilder("iso")
+        tid, v, gid, cta = b.regs(4)
+        b.tid(tid)
+        b.gtid(gid)
+        b.ctaid(cta)
+        b.ld_shared(v, tid)       # must read 0, not another block's data
+        b.st_shared(tid, cta)
+        b.st_global(gid, v)
+        b.exit()
+        program = b.build()
+        result, memory = run_program(program, tiny_config, grid=3, block=32)
+        for g in range(96):
+            assert memory.load(g) == 0
+
+
+class TestTiming:
+    def test_cycles_positive_and_bounded(self, tiny_config):
+        program = build_counting_kernel(iterations=4)
+        result, _ = run_program(program, tiny_config, grid=1, block=32)
+        assert result.cycles > result.instructions_issued * 0
+
+    def test_more_work_takes_longer(self, tiny_config):
+        short, _ = run_program(build_counting_kernel(2), tiny_config)
+        long, _ = run_program(build_counting_kernel(16), tiny_config)
+        assert long.cycles > short.cycles
+
+    def test_dependent_chain_slower_than_independent(self, tiny_config):
+        dep = KernelBuilder("dep")
+        r = dep.reg()
+        dep.mov(r, 1)
+        for _ in range(10):
+            dep.iadd(r, r, 1)  # serial chain
+        dep.st_global(0, r)
+        dep.exit()
+        ind = KernelBuilder("ind")
+        regs = ind.regs(11)
+        ind.mov(regs[0], 1)
+        for i in range(10):
+            ind.iadd(regs[i + 1], regs[0], i)  # all independent
+        ind.st_global(0, regs[10])
+        ind.exit()
+        dep_result, _ = run_program(dep.build(), tiny_config, block=32)
+        ind_result, _ = run_program(ind.build(), tiny_config, block=32)
+        assert dep_result.cycles > ind_result.cycles
+
+    def test_livelock_guard(self, tiny_config):
+        b = KernelBuilder("forever")
+        p = b.pred()
+        r = b.reg()
+        b.label("spin")
+        b.setp(p, r, CmpOp.EQ, 0)  # r stays 0: always true
+        b.bra("spin", pred=p)
+        b.exit()
+        program = b.build()
+        gpu = GPU(tiny_config, dmr=DMRConfig.disabled(), max_cycles=2000)
+        with pytest.raises(SimulationError):
+            gpu.launch(program, LaunchConfig(1, 32), memory=GlobalMemory())
+
+
+class TestDispatch:
+    def test_block_ids_override_duplicates_work(self, tiny_config):
+        program = build_counting_kernel(iterations=2)
+        memory = GlobalMemory()
+        gpu = GPU(tiny_config, dmr=DMRConfig.disabled())
+        result = gpu.launch(
+            program, LaunchConfig(grid_dim=2, block_dim=32),
+            memory=memory, block_ids=[0, 1, 0, 1],
+        )
+        # duplicated blocks recompute identical values
+        for g in range(64):
+            assert memory.load(g) == 2 * g
+        single = GPU(tiny_config, dmr=DMRConfig.disabled()).launch(
+            program, LaunchConfig(grid_dim=2, block_dim=32),
+            memory=GlobalMemory(),
+        )
+        assert result.instructions_issued == 2 * single.instructions_issued
+
+    def test_occupancy_limit_queues_blocks(self):
+        # 1 SM, 1024-thread capacity, blocks of 512: at most 2 resident
+        config = GPUConfig.small(1)
+        program = build_counting_kernel(iterations=2)
+        result, memory = run_program(program, config, grid=4, block=512)
+        for g in range(4 * 512):
+            assert memory.load(g) == 2 * g
+
+    def test_stats_merged_across_sms(self, small_config):
+        # identical blocks: merged issue count scales with grid size
+        program = build_counting_kernel(iterations=2)
+        two, _ = run_program(program, small_config, grid=2, block=32)
+        four, _ = run_program(program, small_config, grid=4, block=32)
+        assert four.instructions_issued == 2 * two.instructions_issued
+
+    def test_issue_listener_sees_every_issue(self, tiny_config):
+        program = build_counting_kernel(iterations=2)
+        events = []
+        gpu = GPU(tiny_config, dmr=DMRConfig.disabled())
+        result = gpu.launch(
+            program, LaunchConfig(1, 32), memory=GlobalMemory(),
+            issue_listener=events.append,
+        )
+        assert len(events) == result.instructions_issued
+        assert all(e.sm_id == 0 for e in events)

@@ -1,0 +1,114 @@
+"""Unit tests for warp/thread-block state."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.mapping import lane_permutation
+from repro.common.config import MappingPolicy
+from repro.sim.warp import ThreadBlock, Warp
+
+
+def make_warp(block_dim=32, warp_base=0, mapping=None, warp_size=32):
+    block = ThreadBlock(
+        block_id=2, block_dim=block_dim, warp_size=warp_size,
+        shared_words=256,
+    )
+    warp = Warp(
+        warp_id=5,
+        block=block,
+        warp_base=warp_base,
+        warp_size=warp_size,
+        num_registers=4,
+        num_predicates=2,
+        lane_of_slot=mapping or list(range(warp_size)),
+        grid_dim=7,
+    )
+    block.attach_warps([warp])
+    return warp
+
+
+class TestIdentity:
+    def test_tid_and_gtid(self):
+        warp = make_warp(block_dim=64, warp_base=32)
+        assert warp.tid(0) == 32
+        assert warp.gtid(0) == 2 * 64 + 32
+
+    def test_partial_warp_live_slots(self):
+        warp = make_warp(block_dim=20)
+        assert warp.live_slots == 20
+        assert warp.active_mask == (1 << 20) - 1
+
+    def test_empty_warp_rejected(self):
+        with pytest.raises(SimulationError):
+            make_warp(block_dim=32, warp_base=32)
+
+
+class TestLaneMapping:
+    def test_identity_mapping_hw_mask(self):
+        warp = make_warp()
+        assert warp.hw_mask(0b1010) == 0b1010
+
+    def test_cross_mapping_spreads_consecutive_threads(self):
+        mapping = lane_permutation(MappingPolicy.CROSS, 32, 4)
+        warp = make_warp(mapping=mapping)
+        # threads 0..7 land one per cluster
+        hw = warp.hw_mask(0xFF)
+        clusters = [(hw >> (4 * c)) & 0xF for c in range(8)]
+        assert all(bin(c).count("1") == 1 for c in clusters)
+
+    def test_mapping_must_be_permutation(self):
+        with pytest.raises(SimulationError):
+            make_warp(mapping=[0] * 32)
+
+    def test_slot_of_lane_inverse(self):
+        mapping = lane_permutation(MappingPolicy.CROSS, 32, 4)
+        warp = make_warp(mapping=mapping)
+        for slot in range(32):
+            assert warp.slot_of_lane[warp.lane_of_slot[slot]] == slot
+
+
+class TestRegisters:
+    def test_register_roundtrip(self):
+        warp = make_warp()
+        warp.write_reg(3, 2, 42)
+        assert warp.read_reg(3, 2) == 42
+        assert warp.read_reg(4, 2) == 0  # other slot untouched
+
+    def test_predicate_roundtrip(self):
+        warp = make_warp()
+        warp.write_pred(0, 1, True)
+        assert warp.read_pred(0, 1) is True
+        assert warp.read_pred(1, 1) is False
+
+
+class TestBarrier:
+    def test_single_warp_barrier_releases_immediately(self):
+        warp = make_warp()
+        released = warp.block.arrive_at_barrier(warp)
+        assert released
+        assert not warp.barrier_blocked
+
+    def test_two_warp_barrier(self):
+        block = ThreadBlock(0, block_dim=64, warp_size=32, shared_words=64)
+        warps = [
+            Warp(i, block, warp_base=32 * i, warp_size=32,
+                 num_registers=1, num_predicates=1,
+                 lane_of_slot=list(range(32)), grid_dim=1)
+            for i in range(2)
+        ]
+        block.attach_warps(warps)
+        assert not block.arrive_at_barrier(warps[0])
+        assert warps[0].barrier_blocked
+        assert block.arrive_at_barrier(warps[1])
+        assert not warps[0].barrier_blocked
+        assert not warps[1].barrier_blocked
+
+    def test_can_issue_respects_barrier_and_stall(self):
+        warp = make_warp()
+        assert warp.can_issue(0)
+        warp.barrier_blocked = True
+        assert not warp.can_issue(0)
+        warp.barrier_blocked = False
+        warp.stalled_until = 10
+        assert not warp.can_issue(9)
+        assert warp.can_issue(10)

@@ -1,0 +1,64 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bfs", "matrixmul", "cufft"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_with_dmr(self, capsys):
+        assert main(["run", "scan", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "coverage" in out
+
+    def test_run_baseline(self, capsys):
+        assert main(["run", "scan", "--scale", "0.25", "--no-dmr"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "coverage" not in out
+
+    def test_run_mapping_and_replayq_flags(self, capsys):
+        assert main([
+            "run", "scan", "--scale", "0.25",
+            "--mapping", "inorder", "--replayq", "0",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "doom"])
+
+
+class TestFigure:
+    def test_figure5(self, capsys):
+        assert main(["figure", "fig5", "--scale", "0.25"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+
+class TestInject:
+    def test_stuck_at_injection(self, capsys):
+        assert main([
+            "inject", "scan", "--scale", "0.25", "--lane", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "StuckAtFault" in out
+        assert "recovery plan" in out
+
+    def test_transient_injection(self, capsys):
+        assert main([
+            "inject", "scan", "--scale", "0.25", "--lane", "3",
+            "--transient-cycle", "40",
+        ]) == 0
+        assert "TransientFault" in capsys.readouterr().out

@@ -1,0 +1,183 @@
+"""Hypothesis property tests on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.bitops import (
+    count_active,
+    full_mask,
+    iter_active_lanes,
+    iter_inactive_lanes,
+    lane_slice,
+    mask_from_lanes,
+)
+from repro.core.coverage import theoretical_intra_warp_coverage
+from repro.core.mapping import lane_permutation, shuffled_lane
+from repro.core.rfu import RegisterForwardingUnit, priority_sequence
+from repro.common.config import MappingPolicy
+from repro.faults.models import flip_bit, force_bit
+from repro.isa.opcodes import Opcode
+from repro.sim.executor import _wrap_i32, compute_lane
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Reg
+
+masks32 = st.integers(0, (1 << 32) - 1)
+lanes = st.lists(st.integers(0, 31), max_size=32)
+i32 = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+class TestBitopsProperties:
+    @given(lane_set=lanes)
+    def test_mask_roundtrip(self, lane_set):
+        mask = mask_from_lanes(lane_set)
+        assert set(iter_active_lanes(mask, 32)) == set(lane_set)
+
+    @given(mask=masks32)
+    def test_active_inactive_partition(self, mask):
+        active = set(iter_active_lanes(mask, 32))
+        inactive = set(iter_inactive_lanes(mask, 32))
+        assert active | inactive == set(range(32))
+        assert not (active & inactive)
+        assert len(active) == count_active(mask)
+
+    @given(mask=masks32)
+    def test_slices_reassemble(self, mask):
+        reassembled = 0
+        for cluster in range(8):
+            reassembled |= lane_slice(mask, 4 * cluster, 4) << (4 * cluster)
+        assert reassembled == mask
+
+
+class TestRFUProperties:
+    @given(mask=st.integers(0, 15))
+    def test_pairing_invariants_4wide(self, mask):
+        pairs = RegisterForwardingUnit(4).pair_cluster(mask)
+        for idle, active in pairs.items():
+            assert not (mask >> idle) & 1, "verifier must be idle"
+            assert (mask >> active) & 1, "target must be active"
+            assert idle != active
+        # every idle lane with any active candidate is put to work
+        if mask not in (0, 0xF):
+            idle_lanes = {l for l in range(4) if not (mask >> l) & 1}
+            assert set(pairs) == idle_lanes
+
+    @given(mask=st.integers(0, 255))
+    def test_pairing_invariants_8wide(self, mask):
+        pairs = RegisterForwardingUnit(8).pair_cluster(mask)
+        for idle, active in pairs.items():
+            assert not (mask >> idle) & 1
+            assert (mask >> active) & 1
+
+    @given(mask=masks32)
+    def test_warp_pairing_stays_in_cluster(self, mask):
+        pairs = RegisterForwardingUnit(4).pair_warp(mask, 32)
+        for idle, active in pairs.items():
+            assert idle // 4 == active // 4
+
+    @given(mask=masks32)
+    def test_verified_coverage_bounded_by_theory(self, mask):
+        """Measured per-warp intra coverage never exceeds the Section
+        3.3 closed form (the theory ignores the cluster restriction, so
+        it is an upper bound)."""
+        active = count_active(mask)
+        if active == 0:
+            return
+        rfu = RegisterForwardingUnit(4)
+        verified = count_active(rfu.verified_lanes(mask, 32))
+        theory = theoretical_intra_warp_coverage(active, 32)
+        assert verified / active <= theory + 1e-12
+
+    @given(cluster=st.sampled_from([2, 4, 8, 16]),
+           mux=st.integers(0, 15))
+    def test_priority_sequences_are_permutations(self, cluster, mux):
+        if mux >= cluster:
+            return
+        seq = priority_sequence(mux, cluster)
+        assert sorted(seq) == list(range(cluster))
+        assert seq[0] == mux
+
+
+class TestMappingProperties:
+    @given(policy=st.sampled_from(list(MappingPolicy)),
+           cluster=st.sampled_from([2, 4, 8]))
+    def test_permutation_bijective(self, policy, cluster):
+        perm = lane_permutation(policy, 32, cluster)
+        assert sorted(perm) == list(range(32))
+
+    @given(lane=st.integers(0, 31), cluster=st.sampled_from([2, 4, 8]))
+    def test_shuffle_moves_within_cluster(self, lane, cluster):
+        target = shuffled_lane(lane, cluster)
+        assert target != lane
+        assert target // cluster == lane // cluster
+
+
+class TestFaultProperties:
+    @given(value=i32, bit=st.integers(0, 31))
+    def test_flip_is_involution_int(self, value, bit):
+        assert flip_bit(flip_bit(value, bit), bit) == value
+
+    @given(value=st.floats(allow_nan=False, allow_infinity=False,
+                           width=32),
+           bit=st.integers(0, 31))
+    def test_flip_changes_and_force_idempotent_float(self, value, bit):
+        forced = force_bit(value, bit, 1)
+        assert force_bit(forced, bit, 1) == forced
+
+    @given(value=i32, bit=st.integers(0, 31))
+    def test_force_sets_the_bit(self, value, bit):
+        forced_one = force_bit(value, bit, 1)
+        forced_zero = force_bit(value, bit, 0)
+        assert ((forced_one & 0xFFFFFFFF) >> bit) & 1 == 1
+        assert ((forced_zero & 0xFFFFFFFF) >> bit) & 1 == 0
+
+    @given(value=i32, bit=st.integers(0, 31))
+    def test_results_stay_in_i32_range(self, value, bit):
+        for result in (flip_bit(value, bit), force_bit(value, bit, 1),
+                       force_bit(value, bit, 0)):
+            assert -(1 << 31) <= result < (1 << 31)
+
+
+class TestALUProperties:
+    @given(a=st.integers(-(1 << 40), 1 << 40))
+    def test_wrap_i32_range(self, a):
+        assert -(1 << 31) <= _wrap_i32(a) < (1 << 31)
+
+    @given(a=i32, b=i32)
+    def test_iadd_commutes(self, a, b):
+        inst = Instruction(opcode=Opcode.IADD, dst=Reg(0),
+                           srcs=(Reg(1), Reg(2)))
+        assert compute_lane(inst, (a, b)) == compute_lane(inst, (b, a))
+
+    @given(a=i32, b=i32)
+    def test_results_in_range(self, a, b):
+        for op in (Opcode.IADD, Opcode.ISUB, Opcode.IMUL, Opcode.AND,
+                   Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR):
+            inst = Instruction(opcode=op, dst=Reg(0), srcs=(Reg(1), Reg(2)))
+            result = compute_lane(inst, (a, b))
+            assert -(1 << 31) <= result < (1 << 31)
+
+    @given(a=i32, b=i32)
+    def test_division_identity(self, a, b):
+        if b == 0:
+            return
+        div = Instruction(opcode=Opcode.IDIV, dst=Reg(0), srcs=(Reg(1), Reg(2)))
+        rem = Instruction(opcode=Opcode.IREM, dst=Reg(0), srcs=(Reg(1), Reg(2)))
+        q = compute_lane(div, (a, b))
+        r = compute_lane(rem, (a, b))
+        assert _wrap_i32(q * b + r) == _wrap_i32(a)
+
+    @given(a=i32)
+    def test_idempotent_min_max(self, a):
+        for op in (Opcode.IMIN, Opcode.IMAX):
+            inst = Instruction(opcode=op, dst=Reg(0), srcs=(Reg(1), Reg(2)))
+            assert compute_lane(inst, (a, a)) == a
+
+
+class TestCoverageProperties:
+    @given(active=st.integers(1, 32))
+    def test_coverage_in_unit_interval(self, active):
+        coverage = theoretical_intra_warp_coverage(active, 32)
+        assert 0.0 <= coverage <= 1.0
+
+    @given(active=st.integers(1, 16))
+    def test_full_below_half(self, active):
+        assert theoretical_intra_warp_coverage(active, 32) == 1.0

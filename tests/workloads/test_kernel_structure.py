@@ -1,0 +1,110 @@
+"""Structural checks on the workload kernels themselves.
+
+These verify the *programs* (not the runs): register pressure within a
+real SM's budget, shared-memory footprints in bounds, divergent kernels
+actually containing divergent branches, and launch geometry consistent
+with the paper's occupancy assumptions.
+"""
+
+import pytest
+
+from repro.common.config import GPUConfig
+from repro.isa.opcodes import Opcode, UnitType
+from repro.workloads import PAPER_ORDER, get_workload
+
+CONFIG = GPUConfig.paper_baseline()
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return {name: get_workload(name).prepare(scale=1.0)
+            for name in PAPER_ORDER}
+
+
+class TestRegisterPressure:
+    def test_register_count_fits_hardware(self, prepared):
+        """64 KB RF / 1024 threads = 16 words per thread at full
+        occupancy; our kernels may use more (they run at lower
+        occupancy) but must stay under a generous 64-register bound."""
+        for name, run in prepared.items():
+            assert run.program.num_registers <= 64, (
+                name, run.program.num_registers
+            )
+
+    def test_predicate_count_small(self, prepared):
+        for name, run in prepared.items():
+            assert run.program.num_predicates <= 8, name
+
+
+class TestControlFlowStructure:
+    DIVERGENT = ("bfs", "nqueen", "mum", "bitonic")
+    STRAIGHT = ("sha",)
+
+    def test_divergent_kernels_have_conditional_branches(self, prepared):
+        for name in self.DIVERGENT:
+            program = prepared[name].program
+            branches = [
+                inst for inst in program.instructions
+                if inst.opcode is Opcode.BRA
+            ]
+            assert branches, name
+            assert program.reconvergence, name
+
+    def test_sha_is_straightline(self, prepared):
+        program = prepared["sha"].program
+        assert not any(
+            inst.opcode in (Opcode.BRA, Opcode.JMP)
+            for inst in program.instructions
+        )
+
+    def test_every_kernel_terminates_with_exit(self, prepared):
+        for name, run in prepared.items():
+            assert run.program.instructions[-1].opcode is Opcode.EXIT, name
+
+
+class TestUnitUsage:
+    def test_sfu_only_where_expected(self, prepared):
+        for name, run in prepared.items():
+            has_sfu = run.program.unit_mix()[UnitType.SFU] > 0
+            assert has_sfu == (name in ("libor", "cufft")), name
+
+    def test_everyone_touches_memory(self, prepared):
+        for name, run in prepared.items():
+            assert run.program.unit_mix()[UnitType.LDST] > 0, name
+
+
+class TestLaunchGeometry:
+    def test_block_fits_sm(self, prepared):
+        for name, run in prepared.items():
+            assert run.launch.block_dim <= CONFIG.max_threads_per_sm, name
+
+    def test_whole_warps_or_documented_partial(self, prepared):
+        # nqueen intentionally launches partial warps (36 threads)
+        for name, run in prepared.items():
+            if name == "nqueen":
+                continue
+            assert run.launch.block_dim % CONFIG.warp_size == 0, name
+
+    def test_shared_memory_footprint(self, prepared):
+        budget = CONFIG.shared_memory_bytes // 4
+        static_use = {
+            "scan": 64, "bitonic": 128, "radixsort": 3 * 64,
+            "laplace": 2 * 64, "cufft": 2 * 64,
+            "nqueen": 36 * 24,
+        }
+        for name, words in static_use.items():
+            assert words <= budget, name
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_scale_shrinks_thread_count(self, name):
+        big = get_workload(name).prepare(scale=1.0)
+        small = get_workload(name).prepare(scale=0.3)
+        assert (small.launch.total_threads <= big.launch.total_threads)
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_extreme_small_scale_still_valid(self, name):
+        run = get_workload(name).prepare(scale=0.1)
+        assert len(run.program) > 0
+        assert run.launch.total_threads > 0

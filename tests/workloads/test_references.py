@@ -1,0 +1,186 @@
+"""Cross-validation of the workloads' host reference implementations.
+
+The simulator is checked against these references, so the references
+themselves are checked here against independent ground truth (known
+closed forms, numpy, graph invariants).
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.workloads.bfs import cpu_bfs, random_graph, to_csr
+from repro.workloads.cufft import bit_reverse, cpu_fft
+from repro.workloads.laplace import LaplaceWorkload
+from repro.workloads.libor import cpu_libor_path
+from repro.workloads.mum import cpu_match_length
+from repro.workloads.nqueen import KNOWN_SOLUTIONS, cpu_nqueen_thread
+from repro.workloads.sha import cpu_sha_rounds, _rotl, _signed
+
+
+class TestNQueenReference:
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_total_matches_known_counts(self, n):
+        total = sum(cpu_nqueen_thread(n, t) for t in range(n * n))
+        assert total == KNOWN_SOLUTIONS[n]
+
+    def test_conflicting_prefixes_yield_zero(self):
+        # same column for both queens can never work
+        n = 6
+        for col in range(n):
+            tid = col + n * col  # c0 == c1
+            assert cpu_nqueen_thread(n, tid) == 0
+
+
+class TestSHAReference:
+    def test_rotl_known_values(self):
+        assert _rotl(1, 1) == 2
+        assert _rotl(0x80000000, 1) == 1
+        assert _rotl(0x12345678, 4) == 0x23456781
+
+    def test_signed_conversion(self):
+        assert _signed(0xFFFFFFFF) == -1
+        assert _signed(0x7FFFFFFF) == 0x7FFFFFFF
+
+    def test_digest_deterministic(self):
+        message = list(range(16))
+        assert cpu_sha_rounds(message, 24) == cpu_sha_rounds(message, 24)
+
+    def test_avalanche(self):
+        """Flipping one message bit changes (essentially) the digest."""
+        rng = random.Random(3)
+        message = [rng.randrange(1 << 32) for _ in range(16)]
+        base = cpu_sha_rounds(message, 24)
+        flipped = list(message)
+        flipped[7] ^= 1 << 13
+        assert cpu_sha_rounds(flipped, 24) != base
+
+    def test_round_count_matters(self):
+        message = list(range(16))
+        assert cpu_sha_rounds(message, 20) != cpu_sha_rounds(message, 24)
+
+    def test_digest_words_are_signed_32bit(self):
+        for word in cpu_sha_rounds(list(range(16)), 24):
+            assert -(1 << 31) <= word < (1 << 31)
+
+
+class TestFFTReference:
+    def test_bit_reverse_involution(self):
+        for bits in (3, 5, 6):
+            for i in range(1 << bits):
+                assert bit_reverse(bit_reverse(i, bits), bits) == i
+
+    @pytest.mark.parametrize("n", [8, 16, 64])
+    def test_matches_numpy(self, n):
+        rng = random.Random(n)
+        real = [rng.uniform(-1, 1) for _ in range(n)]
+        imag = [rng.uniform(-1, 1) for _ in range(n)]
+        bits = n.bit_length() - 1
+        rev_r = [real[bit_reverse(k, bits)] for k in range(n)]
+        rev_i = [imag[bit_reverse(k, bits)] for k in range(n)]
+        out_r, out_i = cpu_fft(rev_r, rev_i)
+        reference = np.fft.fft(np.array(real) + 1j * np.array(imag))
+        for k in range(n):
+            assert out_r[k] == pytest.approx(reference[k].real, abs=1e-9)
+            assert out_i[k] == pytest.approx(reference[k].imag, abs=1e-9)
+
+    def test_impulse_is_flat(self):
+        n = 16
+        bits = 4
+        real = [0.0] * n
+        real[0] = 1.0  # impulse at 0 is bit-reversal invariant
+        out_r, out_i = cpu_fft(list(real), [0.0] * n)
+        for k in range(n):
+            assert out_r[k] == pytest.approx(1.0)
+            assert out_i[k] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestBFSReference:
+    def test_random_graph_reaches_everything(self):
+        rng = random.Random(0)
+        adjacency = random_graph(50, 10, rng)
+        levels = cpu_bfs(adjacency)
+        assert all(level >= 0 for level in levels)
+        assert levels[0] == 0
+
+    def test_levels_respect_edges(self):
+        rng = random.Random(1)
+        adjacency = random_graph(40, 20, rng)
+        levels = cpu_bfs(adjacency)
+        for node, neighbors in enumerate(adjacency):
+            for neighbor in neighbors:
+                assert levels[neighbor] <= levels[node] + 1
+
+    def test_csr_roundtrip(self):
+        adjacency = [[1, 2], [], [0]]
+        row_offsets, col_indices = to_csr(adjacency)
+        assert row_offsets == [0, 2, 2, 3]
+        assert col_indices == [1, 2, 0]
+
+
+class TestLaplaceReference:
+    def test_boundary_never_changes(self):
+        width = height = 6
+        grid = [float(i) for i in range(width * height)]
+        out = LaplaceWorkload.cpu_reference(grid, width, height, 5)
+        for x in range(width):
+            assert out[x] == grid[x]
+            assert out[(height - 1) * width + x] == grid[(height - 1) * width + x]
+        for y in range(height):
+            assert out[y * width] == grid[y * width]
+
+    def test_uniform_field_is_fixed_point(self):
+        width = height = 5
+        grid = [7.0] * (width * height)
+        out = LaplaceWorkload.cpu_reference(grid, width, height, 8)
+        assert out == grid
+
+    def test_smoothing_contracts_range(self):
+        rng = random.Random(2)
+        width = height = 8
+        grid = [rng.uniform(0, 100) for _ in range(width * height)]
+        out = LaplaceWorkload.cpu_reference(grid, width, height, 20)
+        interior = [
+            out[y * width + x]
+            for y in range(1, height - 1) for x in range(1, width - 1)
+        ]
+        assert max(interior) <= max(grid) + 1e-9
+        assert min(interior) >= min(grid) - 1e-9
+
+
+class TestLiborReference:
+    def test_deterministic(self):
+        assert cpu_libor_path(0.05, 3, 16) == cpu_libor_path(0.05, 3, 16)
+
+    def test_value_nonnegative(self):
+        for gtid in range(8):
+            assert cpu_libor_path(0.04, gtid, 16) >= 0.0
+
+    def test_deep_out_of_money_is_worthless(self):
+        # a tiny rate stays under the strike through every step
+        assert cpu_libor_path(1e-6, 0, 8) == 0.0
+
+    def test_more_steps_accumulate_value(self):
+        shallow = cpu_libor_path(0.08, 1, 4)
+        deep = cpu_libor_path(0.08, 1, 16)
+        assert deep >= shallow
+
+
+class TestMUMReference:
+    def test_full_match(self):
+        ref = [0, 1, 2, 3, 0, 1]
+        assert cpu_match_length(ref, [2, 3, 0], anchor=2) == 3
+
+    def test_immediate_mismatch(self):
+        ref = [0, 1, 2, 3]
+        assert cpu_match_length(ref, [3, 3], anchor=0) == 0
+
+    def test_partial_match(self):
+        ref = [0, 1, 2, 3]
+        assert cpu_match_length(ref, [1, 2, 0], anchor=1) == 2
+
+    def test_reference_end_stops_match(self):
+        ref = [0, 1]
+        assert cpu_match_length(ref, [1, 0, 0], anchor=1) == 1

@@ -1,0 +1,127 @@
+"""Functional and characterization tests for all 11 paper workloads.
+
+Every workload must (a) produce bit-exact output against its host
+reference under simulation, and (b) exhibit the divergence/instruction
+character the paper attributes to it (that character is what the
+evaluation measures).
+"""
+
+import pytest
+
+from repro.common.config import DMRConfig, GPUConfig
+from repro.sim.gpu import GPU
+from repro.workloads import PAPER_ORDER, all_workloads, get_workload
+from repro.analysis.active_threads import active_thread_breakdown
+from repro.analysis.inst_mix import unit_mix
+
+
+CONFIG = GPUConfig.small(2)
+
+
+def simulate(name, scale=0.5, dmr=None, seed=0):
+    workload = get_workload(name)
+    run = workload.prepare(scale=scale, seed=seed)
+    gpu = GPU(CONFIG, dmr=dmr or DMRConfig.disabled())
+    result = gpu.launch(run.program, run.launch, memory=run.memory)
+    return workload, run, result
+
+
+class TestRegistry:
+    def test_paper_order_complete(self):
+        assert len(PAPER_ORDER) == 11
+        assert set(all_workloads()) == set(PAPER_ORDER)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("quake")
+
+    def test_metadata_present(self):
+        for workload in all_workloads().values():
+            assert workload.name
+            assert workload.display_name
+            assert workload.category
+            assert workload.paper_params
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+class TestFunctionalCorrectness:
+    def test_output_matches_host_reference(self, name):
+        _, run, _ = simulate(name)
+        run.check(run.memory)
+
+    def test_correct_under_warped_dmr(self, name):
+        """DMR must never change architectural results."""
+        _, run, result = simulate(name, dmr=DMRConfig.paper_default())
+        run.check(run.memory)
+        assert len(result.detections) == 0  # no faults injected
+
+    def test_deterministic_across_runs(self, name):
+        _, run_a, result_a = simulate(name)
+        _, run_b, result_b = simulate(name)
+        assert result_a.cycles == result_b.cycles
+        assert run_a.output_of(run_a.memory) == run_b.output_of(run_b.memory)
+
+    def test_seed_changes_data_not_validity(self, name):
+        _, run, _ = simulate(name, seed=7)
+        run.check(run.memory)
+
+    def test_transfer_spec_positive(self, name):
+        run = get_workload(name).prepare(scale=0.5)
+        assert run.transfer.output_bytes > 0
+        assert run.transfer.input_bytes >= 0
+
+
+class TestCharacterization:
+    """Each workload must reproduce its paper-measured character."""
+
+    def test_bfs_is_divergence_dominated(self):
+        _, _, result = simulate("bfs")
+        bins = active_thread_breakdown(result)
+        assert bins["1"] + bins["2-11"] > 0.5
+
+    def test_matrixmul_fully_utilized(self):
+        _, _, result = simulate("matrixmul", scale=1.0)
+        assert active_thread_breakdown(result)["32"] > 0.9
+
+    def test_libor_leans_on_sfu(self):
+        _, _, result = simulate("libor")
+        assert unit_mix(result)["SFU"] > 0.1
+
+    def test_sha_is_integer_sp_heavy(self):
+        _, _, result = simulate("sha", scale=1.0)
+        assert unit_mix(result)["SP"] > 0.8
+
+    def test_sha_has_long_sp_runs(self):
+        _, _, result = simulate("sha", scale=1.0)
+        histogram = result.stats.histogram("unit_run_SP")
+        assert max(histogram.as_dict()) > 20
+
+    def test_bitonic_half_warp_masks(self):
+        _, _, result = simulate("bitonic", scale=1.0)
+        bins = active_thread_breakdown(result)
+        assert bins["12-21"] > 0.4   # the ixj>tid half-warps
+
+    def test_mum_mostly_below_half_warp(self):
+        _, _, result = simulate("mum", scale=1.0)
+        bins = active_thread_breakdown(result)
+        assert bins["1"] + bins["2-11"] + bins["12-21"] > 0.5
+
+    def test_nqueen_diverges(self):
+        _, _, result = simulate("nqueen", scale=1.0)
+        assert result.stats.value("divergent_branches") > 0
+
+    def test_scan_has_shrinking_masks(self):
+        _, _, result = simulate("scan", scale=1.0)
+        histogram = result.stats.histogram("active_threads")
+        observed = set(histogram.as_dict())
+        assert len(observed & {31, 30, 28, 24, 16}) >= 3
+
+    def test_laplace_boundary_fringe(self):
+        _, _, result = simulate("laplace", scale=1.0)
+        bins = active_thread_breakdown(result)
+        assert bins["32"] > 0.2          # unguarded work
+        assert bins["12-21"] + bins["22-31"] > 0.2  # interior-only work
+
+    def test_cufft_high_utilization(self):
+        _, _, result = simulate("cufft", scale=1.0)
+        assert active_thread_breakdown(result)["32"] > 0.8
