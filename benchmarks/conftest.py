@@ -2,18 +2,23 @@
 
 One session-scoped :class:`SuiteRunner` serves every bench so baseline
 simulations are shared across figures (exactly like one simulation
-campaign feeding all of the paper's plots).  Each bench writes its
-formatted table to ``benchmarks/results/`` so the regenerated figures
-survive the pytest run.
+campaign feeding all of the paper's plots).  The runner also carries
+the persistent result cache — a second benchmark session reloads every
+simulation from disk — and fans cache misses out across worker
+processes (``REPRO_JOBS`` overrides the worker count, ``REPRO_BENCH_SERIAL=1``
+forces the serial path, e.g. when timing single simulations).  Each
+bench writes its formatted table to ``benchmarks/results/`` so the
+regenerated figures survive the pytest run.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
-from repro.analysis.runner import SuiteRunner, experiment_config
+from repro.analysis.runner import SuiteRunner, default_jobs, experiment_config
 
 #: Evaluation scale for the benches (1.0 = this repo's full size).
 BENCH_SCALE = 1.0
@@ -23,7 +28,9 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def runner() -> SuiteRunner:
-    return SuiteRunner(experiment_config(num_sms=2), scale=BENCH_SCALE)
+    jobs = 1 if os.environ.get("REPRO_BENCH_SERIAL") else default_jobs()
+    return SuiteRunner(experiment_config(num_sms=2), scale=BENCH_SCALE,
+                       cache=True, jobs=jobs)
 
 
 @pytest.fixture(scope="session")

@@ -103,12 +103,19 @@ def cmd_figure(args) -> int:
         print(f"unknown figure {args.name!r}; choose from "
               f"{sorted(drivers)}", file=sys.stderr)
         return 2
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir is not None:
+        cache = args.cache_dir
+    else:
+        cache = True
     runner = SuiteRunner(
         experiment_config(num_sms=args.sms), scale=args.scale,
-        seed=args.seed,
+        seed=args.seed, cache=cache, jobs=args.jobs,
     )
     run_fn, format_fn = drivers[args.name]
     print(format_fn(run_fn(runner)))
+    print(runner.cache_summary(), file=sys.stderr)
     return 0
 
 
@@ -171,6 +178,16 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser = sub.add_parser("figure", help="regenerate a figure")
     figure_parser.add_argument("name")
     _add_common(figure_parser)
+    figure_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulate cache misses in N worker processes (default 1)")
+    figure_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache (simulate everything)")
+    figure_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default $REPRO_CACHE_DIR "
+             "or ~/.cache/repro)")
 
     inject_parser = sub.add_parser("inject", help="fault-injection run")
     inject_parser.add_argument("workload")

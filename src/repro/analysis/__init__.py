@@ -19,7 +19,9 @@ preserving per-SM occupancy (the quantity every experiment actually
 depends on).
 """
 
-from repro.analysis.runner import SuiteRunner, experiment_config
+from repro.analysis.runner import SuiteRunner, default_jobs, experiment_config
 from repro.analysis.report import format_table
+from repro.analysis.result_cache import ResultCache, result_key
 
-__all__ = ["SuiteRunner", "experiment_config", "format_table"]
+__all__ = ["ResultCache", "SuiteRunner", "default_jobs",
+           "experiment_config", "format_table", "result_key"]

@@ -47,6 +47,7 @@ def active_thread_breakdown(result: KernelResult) -> Dict[str, float]:
 
 def run_figure1(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
     """Figure 1 data: workload -> bin -> fraction (baseline runs)."""
+    runner.prefetch((name,) for name in all_workloads())
     return {
         name: active_thread_breakdown(runner.baseline(name))
         for name in all_workloads()

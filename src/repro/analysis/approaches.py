@@ -18,7 +18,13 @@ from repro.workloads import all_workloads, get_workload
 
 
 def run_figure10(runner: SuiteRunner) -> Dict[str, Dict[str, SchemeResult]]:
-    """workload -> scheme -> SchemeResult."""
+    """workload -> scheme -> SchemeResult.
+
+    The scheme comparison launches its own redundant-execution variants
+    (two kernels for R-Naive, doubled grids for R-Thread, a DMTR
+    controller), so runs here bypass the runner's result cache; only
+    the shared ``original``/Warped-DMR members could ever hit it.
+    """
     data: Dict[str, Dict[str, SchemeResult]] = {}
     for name in all_workloads():
         data[name] = compare_schemes(

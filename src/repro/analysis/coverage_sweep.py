@@ -38,6 +38,10 @@ def run_figure9a(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
             DMRConfig.paper_default().with_mapping(MappingPolicy.CROSS),
         ),
     }
+    runner.prefetch(
+        (name, dmr, config)
+        for name in all_workloads() for config, dmr in configs.values()
+    )
     data: Dict[str, Dict[str, float]] = {}
     for name in all_workloads():
         data[name] = {}

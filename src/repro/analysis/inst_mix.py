@@ -30,6 +30,7 @@ def unit_mix(result: KernelResult) -> Dict[str, float]:
 
 def run_figure5(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
     """Figure 5 data: workload -> unit -> fraction (baseline runs)."""
+    runner.prefetch((name,) for name in all_workloads())
     return {
         name: unit_mix(runner.baseline(name))
         for name in all_workloads()

@@ -20,6 +20,11 @@ REPLAYQ_SIZES: List[int] = [0, 1, 5, 10]
 
 def run_figure9b(runner: SuiteRunner) -> Dict[str, Dict[int, float]]:
     """workload -> queue size -> normalized cycles (plus 'average')."""
+    runner.prefetch(
+        [(name,) for name in all_workloads()]
+        + [(name, DMRConfig.paper_default().with_replayq(size))
+           for name in all_workloads() for size in REPLAYQ_SIZES]
+    )
     data: Dict[str, Dict[int, float]] = {}
     for name in all_workloads():
         base = runner.baseline(name).cycles

@@ -20,6 +20,10 @@ from repro.workloads import all_workloads
 def run_figure11(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
     """workload -> {'power': ratio, 'energy': ratio} (plus 'average')."""
     model = PowerModel(runner.config)
+    runner.prefetch(
+        [(name,) for name in all_workloads()]
+        + [(name, DMRConfig.paper_default()) for name in all_workloads()]
+    )
     data: Dict[str, Dict[str, float]] = {}
     for name in all_workloads():
         baseline = model.report(runner.baseline(name))

@@ -43,6 +43,7 @@ def raw_distance_stats(result: KernelResult) -> Dict[str, float]:
 
 def run_figure8b(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
     """Figure 8(b) data: workload -> RAW-distance stats (baseline)."""
+    runner.prefetch((name,) for name in all_workloads())
     return {
         name: raw_distance_stats(runner.baseline(name))
         for name in all_workloads()

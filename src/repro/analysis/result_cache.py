@@ -1,0 +1,154 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Every suite run is fully determined by (workload name, GPUConfig,
+DMRConfig, scale, seed, check_outputs): the simulator is pure and the
+workloads generate inputs from the seed.  The cache therefore keys each
+:class:`~repro.sim.gpu.KernelResult` by a SHA-256 over the canonical
+fingerprint of that tuple plus a code-version salt, and stores the
+result's plain-data payload as a pickle file.  Repeated figure
+regenerations, pytest runs and CLI invocations hit the cache instead of
+re-simulating.
+
+Invalidation is by construction: any config field change alters the
+fingerprint (see :func:`repro.common.config.config_fingerprint`), and
+bumping :data:`CACHE_SCHEMA_VERSION` or the package version salts every
+key, orphaning stale entries rather than ever serving them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Optional
+
+from repro.common.config import DMRConfig, GPUConfig, config_fingerprint
+from repro.common.errors import ConfigError
+from repro.sim.gpu import KernelResult
+
+#: Bump when the cached payload layout or simulator semantics change in
+#: a way not captured by any configuration field.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def code_version_salt() -> str:
+    """Salt folded into every key so stale code never serves results."""
+    from repro import __version__
+    return f"repro-{__version__}-schema{CACHE_SCHEMA_VERSION}"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+def result_key(name: str, dmr: DMRConfig, config: GPUConfig,
+               scale: float, seed: int, check_outputs: bool) -> str:
+    """Stable content address of one simulation.
+
+    Covers *every* run input — the fingerprints expand all config
+    fields, and scale/seed/check_outputs ride alongside — so two runs
+    share a key iff they are the same simulation.
+    """
+    material = config_fingerprint({
+        "workload": name,
+        "dmr": dmr,
+        "gpu": config,
+        "scale": scale,
+        "seed": seed,
+        "check_outputs": check_outputs,
+        "salt": code_version_salt(),
+    })
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Persistent KernelResult store, one pickle file per key.
+
+    Reads tolerate missing/corrupt/stale files (treated as misses) and
+    writes are atomic (temp file + rename), so concurrent runners and
+    parallel workers can share one directory safely.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir \
+            else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> pathlib.Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[KernelResult]:
+        """The cached result for *key*, or ``None`` on any miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            result = KernelResult.from_payload(payload)
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError,
+                TypeError, AttributeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: KernelResult) -> None:
+        """Store *result* under *key* atomically."""
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as error:
+            raise ConfigError(
+                f"result-cache path {self.cache_dir} is not a directory"
+            ) from error
+        path = self._path(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir,
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result.to_payload(), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({str(self.cache_dir)!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")

@@ -1,12 +1,36 @@
-"""Shared experiment runner with per-configuration result caching."""
+"""Shared experiment runner: caching, fan-out, and per-run bookkeeping.
+
+Every paper figure consumes the same 11-workload suite under a handful
+of DMR configurations, and each (workload, GPUConfig, DMRConfig, scale,
+seed) run is an independent pure computation.  :class:`SuiteRunner`
+exploits both facts:
+
+* results are cached twice — in memory (object-identity preserved
+  within a runner) and optionally in a persistent on-disk
+  :class:`~repro.analysis.result_cache.ResultCache` shared across
+  processes and invocations;
+* distinct cache misses fan out across worker processes
+  (:meth:`run_many` / ``run_suite(parallel=N)``) while the single-run
+  :meth:`run` API is unchanged.
+
+Workers return :meth:`KernelResult.to_payload` plain data, so the same
+serialization path feeds the pool IPC and the disk cache, and the
+determinism tests can compare results byte-for-byte.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import concurrent.futures
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.result_cache import ResultCache, result_key
 from repro.common.config import DMRConfig, GPUConfig
 from repro.sim.gpu import GPU, KernelResult
 from repro.workloads import all_workloads, get_workload
+
+#: One requested simulation: (workload name, DMRConfig, GPUConfig).
+RunSpec = Tuple[str, DMRConfig, GPUConfig]
 
 
 def experiment_config(num_sms: int = 2, **overrides) -> GPUConfig:
@@ -25,56 +49,202 @@ def experiment_config(num_sms: int = 2, **overrides) -> GPUConfig:
     return replace(GPUConfig.paper_baseline(), num_sms=num_sms, **overrides)
 
 
+def default_jobs() -> int:
+    """Worker count when parallelism is requested without a number.
+
+    ``$REPRO_JOBS`` wins; otherwise the CPU count capped at 4 — the
+    suite has 11 workloads, so more workers mostly pay fork overhead.
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        cpus = os.cpu_count() or 1
+    return max(1, min(4, cpus))
+
+
+def _simulate_payload(args: Tuple[str, DMRConfig, GPUConfig, float, int,
+                                  bool]) -> dict:
+    """Worker entry point: simulate one spec, return the result payload.
+
+    Module-level so it pickles under any multiprocessing start method;
+    returns plain data (not a KernelResult) so the transfer does not
+    depend on simulator classes unpickling identically in the parent.
+    """
+    name, dmr, config, scale, seed, check_outputs = args
+    workload = get_workload(name)
+    run = workload.prepare(scale, seed)
+    gpu = GPU(config, dmr=dmr)
+    result = gpu.launch(run.program, run.launch, memory=run.memory)
+    if check_outputs:
+        run.check(run.memory)
+    return result.to_payload()
+
+
 class SuiteRunner:
     """Runs workloads under varying DMR configurations, caching results.
 
     Experiments share baseline runs heavily (every figure normalizes to
-    the no-DMR run); the cache keys on workload name plus the DMR
-    configuration so each (workload, config) pair simulates once.
+    the no-DMR run); the cache keys on workload name plus the full run
+    configuration — GPU/DMR config fingerprints, ``scale``, ``seed``
+    and ``check_outputs`` — so each distinct run simulates once.
+
+    ``cache`` selects the persistent layer: ``None``/``False`` for
+    in-memory only, ``True`` for the default on-disk location, a path
+    for a specific directory, or a ready :class:`ResultCache`.
+    ``jobs`` sets the default fan-out for :meth:`run_many` /
+    :meth:`run_suite` (1 = serial in-process).
     """
 
     def __init__(self, config: Optional[GPUConfig] = None,
                  scale: float = 1.0, seed: int = 0,
-                 check_outputs: bool = True) -> None:
+                 check_outputs: bool = True,
+                 cache: Union[None, bool, str, os.PathLike,
+                              ResultCache] = None,
+                 jobs: int = 1) -> None:
         self.config = config or experiment_config()
         self.scale = scale
         self.seed = seed
         self.check_outputs = check_outputs
-        self._cache: Dict[Tuple, KernelResult] = {}
+        self.jobs = max(1, jobs)
+        self._cache: Dict[str, KernelResult] = {}
+        if isinstance(cache, ResultCache):
+            self.persistent_cache: Optional[ResultCache] = cache
+        elif cache is True:
+            self.persistent_cache = ResultCache()
+        elif cache:
+            self.persistent_cache = ResultCache(cache)
+        else:
+            self.persistent_cache = None
+        self.simulations = 0  # runs actually executed (locally or in a pool)
 
     # ------------------------------------------------------------------
-    def _key(self, name: str, dmr: DMRConfig, config: GPUConfig) -> Tuple:
-        return (
-            name, config.cluster_size, config.num_sms,
-            dmr.enabled, dmr.replayq_entries, dmr.mapping,
-            dmr.lane_shuffle, dmr.eager_reexecution,
-        )
+    def _key(self, name: str, dmr: DMRConfig, config: GPUConfig) -> str:
+        """Content address of one run.
 
+        Must cover every input of the simulation — in particular
+        ``scale``, ``seed`` and ``check_outputs``: omitting them would
+        alias two runners' entries once the cache persists across
+        processes.
+        """
+        return result_key(name, dmr, config, self.scale, self.seed,
+                          self.check_outputs)
+
+    def _spec(self, name: str, dmr: Optional[DMRConfig],
+              config: Optional[GPUConfig]) -> RunSpec:
+        return (name, dmr or DMRConfig.disabled(), config or self.config)
+
+    def _lookup(self, key: str) -> Optional[KernelResult]:
+        """Memory cache, then persistent cache (promoting on hit)."""
+        if key in self._cache:
+            return self._cache[key]
+        if self.persistent_cache is not None:
+            result = self.persistent_cache.get(key)
+            if result is not None:
+                self._cache[key] = result
+                return result
+        return None
+
+    def _store(self, key: str, result: KernelResult) -> None:
+        self._cache[key] = result
+        if self.persistent_cache is not None:
+            self.persistent_cache.put(key, result)
+
+    # ------------------------------------------------------------------
     def run(self, name: str, dmr: Optional[DMRConfig] = None,
             config: Optional[GPUConfig] = None) -> KernelResult:
         """Run (or fetch the cached run of) one workload."""
-        dmr = dmr or DMRConfig.disabled()
-        config = config or self.config
+        name, dmr, config = self._spec(name, dmr, config)
         key = self._key(name, dmr, config)
-        if key in self._cache:
-            return self._cache[key]
-        workload = get_workload(name)
-        run = workload.prepare(self.scale, self.seed)
-        gpu = GPU(config, dmr=dmr)
-        result = gpu.launch(run.program, run.launch, memory=run.memory)
-        if self.check_outputs:
-            run.check(run.memory)
-        self._cache[key] = result
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        payload = _simulate_payload(
+            (name, dmr, config, self.scale, self.seed, self.check_outputs)
+        )
+        self.simulations += 1
+        result = KernelResult.from_payload(payload)
+        self._store(key, result)
         return result
 
     def baseline(self, name: str) -> KernelResult:
         """The zero-error-detection run used for normalization."""
         return self.run(name, DMRConfig.disabled())
 
+    # ------------------------------------------------------------------
+    def run_many(self, specs: Sequence[Tuple], *,
+                 parallel: Optional[int] = None) -> List[KernelResult]:
+        """Run every ``(name, dmr, config)`` spec, fanning misses out.
+
+        Specs may abbreviate to ``(name,)`` or ``(name, dmr)``; ``None``
+        entries mean the runner defaults, as in :meth:`run`.  Duplicate
+        keys simulate once.  Results come back in spec order.  With
+        ``parallel`` (or ``self.jobs``) > 1 and more than one miss, the
+        misses run in a :class:`~concurrent.futures.ProcessPoolExecutor`.
+        """
+        resolved: List[RunSpec] = []
+        for spec in specs:
+            name = spec[0]
+            dmr = spec[1] if len(spec) > 1 else None
+            config = spec[2] if len(spec) > 2 else None
+            resolved.append(self._spec(name, dmr, config))
+
+        keys = [self._key(*spec) for spec in resolved]
+        missing: Dict[str, RunSpec] = {}
+        for key, spec in zip(keys, resolved):
+            if key not in missing and self._lookup(key) is None:
+                missing[key] = spec
+
+        workers = self.jobs if parallel is None else max(1, parallel)
+        workers = min(workers, len(missing)) if missing else 0
+        if workers > 1:
+            order = list(missing.items())
+            args = [(name, dmr, config, self.scale, self.seed,
+                     self.check_outputs) for name, dmr, config in
+                    (spec for _, spec in order)]
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers) as pool:
+                payloads = list(pool.map(_simulate_payload, args))
+            for (key, _), payload in zip(order, payloads):
+                self.simulations += 1
+                self._store(key, KernelResult.from_payload(payload))
+        else:
+            for key, (name, dmr, config) in missing.items():
+                self.run(name, dmr, config)
+
+        return [self._cache[key] for key in keys]
+
+    def prefetch(self, specs: Iterable[Tuple], *,
+                 parallel: Optional[int] = None) -> None:
+        """Warm the cache for *specs* (parallel when configured).
+
+        The figure drivers call this up front with every run they are
+        about to request, then keep their readable serial loops — which
+        become pure cache hits.
+        """
+        self.run_many(list(specs), parallel=parallel)
+
     def run_suite(self, dmr: Optional[DMRConfig] = None,
-                  config: Optional[GPUConfig] = None) -> Dict[str, KernelResult]:
+                  config: Optional[GPUConfig] = None, *,
+                  parallel: Optional[int] = None) -> Dict[str, KernelResult]:
         """All 11 workloads under one configuration, in paper order."""
-        return {
-            name: self.run(name, dmr, config)
-            for name in all_workloads()
-        }
+        names = list(all_workloads())
+        results = self.run_many(
+            [(name, dmr, config) for name in names], parallel=parallel
+        )
+        return dict(zip(names, results))
+
+    # ------------------------------------------------------------------
+    def cache_summary(self) -> str:
+        """One-line accounting, printed to stderr by the CLI."""
+        memory_entries = len(self._cache)
+        parts = [f"simulations={self.simulations}",
+                 f"memory-entries={memory_entries}"]
+        if self.persistent_cache is not None:
+            pc = self.persistent_cache
+            parts.append(f"disk-hits={pc.hits}")
+            parts.append(f"disk-stores={pc.stores}")
+            parts.append(f"dir={pc.cache_dir}")
+        return "cache: " + " ".join(parts)

@@ -34,6 +34,7 @@ def switching_distances(result: KernelResult) -> Dict[str, Dict[str, float]]:
 
 def run_figure8a(runner: SuiteRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Figure 8(a) data: workload -> unit -> {mean, max} run length."""
+    runner.prefetch((name,) for name in all_workloads())
     return {
         name: switching_distances(runner.baseline(name))
         for name in all_workloads()

@@ -9,11 +9,52 @@ mid-simulation.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import json
 from dataclasses import dataclass, replace
 from typing import Any, Dict
 
 from repro.common.errors import ConfigError
+
+
+def _canonicalize(value: Any) -> Any:
+    """Reduce *value* to a JSON-able form with a stable text rendering.
+
+    Every distinct configuration value must map to a distinct canonical
+    form: enums carry their class and member name, floats their exact
+    bit pattern (``float.hex`` — ``repr`` rounding could conflate two
+    near-equal latencies), and dataclasses their type name plus every
+    field, so adding a field to a config automatically changes its
+    fingerprint.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: Dict[str, Any] = {"__type__": type(value).__name__}
+        for field in dataclasses.fields(value):
+            out[field.name] = _canonicalize(getattr(value, field.name))
+        return out
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canonicalize(val) for key, val in value.items()}
+    raise ConfigError(f"cannot fingerprint value of type {type(value).__name__}")
+
+
+def config_fingerprint(value: Any) -> str:
+    """Canonical string form of a configuration value.
+
+    Two configurations produce the same fingerprint iff they are equal;
+    the persistent result cache builds its keys from these strings (see
+    :mod:`repro.analysis.result_cache`).
+    """
+    return json.dumps(_canonicalize(value), sort_keys=True,
+                      separators=(",", ":"))
 
 
 class MappingPolicy(enum.Enum):
@@ -157,6 +198,10 @@ class GPUConfig:
             out[name] = value.value if isinstance(value, enum.Enum) else value
         return out
 
+    def fingerprint(self) -> str:
+        """Canonical cache-key form covering every field."""
+        return config_fingerprint(self)
+
 
 @dataclass(frozen=True)
 class DMRConfig:
@@ -204,6 +249,18 @@ class DMRConfig:
 
     def with_mapping(self, mapping: MappingPolicy) -> "DMRConfig":
         return replace(self, mapping=mapping)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dict form, convenient for experiment logs."""
+        out: Dict[str, Any] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            out[name] = value.value if isinstance(value, enum.Enum) else value
+        return out
+
+    def fingerprint(self) -> str:
+        """Canonical cache-key form covering every field."""
+        return config_fingerprint(self)
 
 
 @dataclass(frozen=True)

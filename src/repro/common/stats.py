@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Tuple
 
 
 @dataclass
@@ -30,6 +30,13 @@ class Counter:
                 f"cannot merge counter {other.name!r} into {self.name!r}"
             )
         self.value += other.value
+
+    def to_payload(self) -> List[Any]:
+        return [self.name, self.value]
+
+    @classmethod
+    def from_payload(cls, payload: List[Any]) -> "Counter":
+        return cls(name=payload[0], value=payload[1])
 
 
 class Histogram:
@@ -79,6 +86,18 @@ class Histogram:
             return 0.0
         return sum(key * count for key, count in self._bins.items()) / total
 
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-data form with deterministically ordered bins."""
+        bins = sorted(self._bins.items(), key=lambda kv: repr(kv[0]))
+        return {"name": self.name, "bins": [[key, count] for key, count in bins]}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Histogram":
+        hist = cls(payload["name"])
+        for key, count in payload["bins"]:
+            hist._bins[key] = count
+        return hist
+
     def __len__(self) -> int:
         return len(self._bins)
 
@@ -127,6 +146,26 @@ class StatSet:
             self.counter(name).merge(counter)
         for name, hist in other._histograms.items():
             self.histogram(name).merge(hist)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-data form with deterministically ordered members."""
+        return {
+            "counters": [self._counters[name].to_payload()
+                         for name in sorted(self._counters)],
+            "histograms": [self._histograms[name].to_payload()
+                           for name in sorted(self._histograms)],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "StatSet":
+        stats = cls()
+        for entry in payload["counters"]:
+            counter = Counter.from_payload(entry)
+            stats._counters[counter.name] = counter
+        for entry in payload["histograms"]:
+            hist = Histogram.from_payload(entry)
+            stats._histograms[hist.name] = hist
+        return stats
 
     def __repr__(self) -> str:
         return (

@@ -39,6 +39,27 @@ class DetectionEvent:
             f"({self.mode}-warp DMR)"
         )
 
+    def to_payload(self) -> dict:
+        """Plain-data form (opcode by name) for result serialization."""
+        return {
+            "cycle": self.cycle,
+            "sm_id": self.sm_id,
+            "warp_id": self.warp_id,
+            "pc": self.pc,
+            "opcode": self.opcode.name,
+            "original_lane": self.original_lane,
+            "verifier_lane": self.verifier_lane,
+            "original_value": self.original_value,
+            "verify_value": self.verify_value,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DetectionEvent":
+        fields = dict(payload)
+        fields["opcode"] = Opcode[fields["opcode"]]
+        return cls(**fields)
+
 
 class ResultComparator:
     """Collects mismatches between original and redundant executions."""

@@ -49,6 +49,40 @@ class KernelResult:
     def instructions_issued(self) -> int:
         return self.stats.value("instructions_issued")
 
+    def to_payload(self) -> dict:
+        """Canonical plain-data form for caching and IPC.
+
+        Deterministic: two equal results (same simulation) produce
+        byte-identical pickles of this payload, which the determinism
+        tests rely on.  Everything inside is built-in Python data, so a
+        payload round-trips through pickle across worker processes and
+        cache files without importing simulator classes.
+        """
+        return {
+            "program_name": self.program_name,
+            "cycles": self.cycles,
+            "per_sm_cycles": list(self.per_sm_cycles),
+            "stats": self.stats.to_payload(),
+            "memory": self.memory.to_payload(),
+            "detections": [event.to_payload() for event in self.detections],
+            "clock_period_ns": self.clock_period_ns,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "KernelResult":
+        from repro.core.comparator import DetectionEvent  # sim must not
+        # import core at module scope (core builds on sim)
+        return cls(
+            program_name=payload["program_name"],
+            cycles=payload["cycles"],
+            per_sm_cycles=list(payload["per_sm_cycles"]),
+            stats=StatSet.from_payload(payload["stats"]),
+            memory=GlobalMemory.from_payload(payload["memory"]),
+            detections=[DetectionEvent.from_payload(entry)
+                        for entry in payload["detections"]],
+            clock_period_ns=payload["clock_period_ns"],
+        )
+
     def __repr__(self) -> str:
         return (
             f"KernelResult({self.program_name!r}, cycles={self.cycles}, "

@@ -69,6 +69,21 @@ class GlobalMemory:
         """Number of distinct words ever written."""
         return len(self._words)
 
+    def to_payload(self) -> Dict[str, object]:
+        """Plain-data form with deterministically ordered words."""
+        return {
+            "size_words": self.size_words,
+            "words": [[addr, self._words[addr]]
+                      for addr in sorted(self._words)],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "GlobalMemory":
+        memory = cls(size_words=payload["size_words"])
+        for addr, value in payload["words"]:
+            memory._words[addr] = value
+        return memory
+
 
 class SharedMemory:
     """Per-thread-block scratchpad (CUDA ``__shared__``).

@@ -1,0 +1,177 @@
+"""Property tests for cache-key fingerprints and result serialization.
+
+The persistent result cache is only sound if (a) two different
+configurations can never share a key, and (b) a result survives the
+serialize→deserialize round trip bit-exactly.  Hypothesis searches for
+counterexamples to both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.result_cache import result_key
+from repro.common.config import (
+    DMRConfig,
+    GPUConfig,
+    MappingPolicy,
+    SchedulerPolicy,
+    config_fingerprint,
+)
+from repro.common.stats import Histogram, StatSet
+from repro.sim.gpu import KernelResult
+from repro.sim.memory import GlobalMemory
+
+from tests.conftest import build_counting_kernel, run_program
+
+dmr_configs = st.builds(
+    DMRConfig,
+    enabled=st.booleans(),
+    replayq_entries=st.integers(0, 20),
+    mapping=st.sampled_from(list(MappingPolicy)),
+    lane_shuffle=st.booleans(),
+    eager_reexecution=st.booleans(),
+)
+
+gpu_configs = st.builds(
+    GPUConfig,
+    num_sms=st.integers(1, 4),
+    cluster_size=st.sampled_from([2, 4, 8, 16, 32]),
+    sp_latency=st.integers(1, 8),
+    ldst_global_latency=st.integers(1, 80),
+    clock_period_ns=st.sampled_from([1.0, 1.25, 2.0]),
+    scheduler=st.sampled_from(list(SchedulerPolicy)),
+    num_schedulers=st.sampled_from([1, 2]),
+    model_bank_conflicts=st.booleans(),
+    warp_start_stagger=st.integers(0, 50),
+)
+
+
+class TestConfigFingerprints:
+    @given(a=dmr_configs, b=dmr_configs)
+    def test_dmr_fingerprint_injective(self, a, b):
+        assert (a.fingerprint() == b.fingerprint()) == (a == b)
+
+    @given(a=gpu_configs, b=gpu_configs)
+    @settings(max_examples=60)
+    def test_gpu_fingerprint_injective(self, a, b):
+        assert (a.fingerprint() == b.fingerprint()) == (a == b)
+
+    @given(config=dmr_configs)
+    def test_replace_changes_dmr_fingerprint(self, config):
+        """Flipping any single field must change the key."""
+        variants = {
+            "enabled": not config.enabled,
+            "replayq_entries": config.replayq_entries + 1,
+            "mapping": (MappingPolicy.CROSS
+                        if config.mapping is MappingPolicy.IN_ORDER
+                        else MappingPolicy.IN_ORDER),
+            "lane_shuffle": not config.lane_shuffle,
+            "eager_reexecution": not config.eager_reexecution,
+        }
+        for field, value in variants.items():
+            modified = dataclasses.replace(config, **{field: value})
+            assert modified.fingerprint() != config.fingerprint(), field
+
+    @given(config=gpu_configs)
+    @settings(max_examples=30)
+    def test_replace_changes_gpu_fingerprint(self, config):
+        variants = {
+            "num_sms": config.num_sms + 1,
+            "sp_latency": config.sp_latency + 1,
+            "ldst_global_latency": config.ldst_global_latency + 1,
+            "warp_start_stagger": config.warp_start_stagger + 1,
+            "model_bank_conflicts": not config.model_bank_conflicts,
+        }
+        for field, value in variants.items():
+            modified = dataclasses.replace(config, **{field: value})
+            assert modified.fingerprint() != config.fingerprint(), field
+
+    def test_float_fields_keep_full_precision(self):
+        a = dataclasses.replace(GPUConfig(), clock_period_ns=1.25)
+        b = dataclasses.replace(GPUConfig(), clock_period_ns=1.25 + 1e-12)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_covers_type_name(self):
+        """Two value-identical dataclasses of different types differ."""
+        assert config_fingerprint(DMRConfig()) != config_fingerprint(
+            {"__type__": "SomethingElse"}
+        )
+
+
+class TestResultKey:
+    @given(dmr=dmr_configs,
+           scale=st.sampled_from([0.25, 0.5, 1.0]),
+           seed=st.integers(0, 5),
+           check=st.booleans())
+    @settings(max_examples=40)
+    def test_key_covers_every_run_input(self, dmr, scale, seed, check):
+        config = GPUConfig.small(2)
+        base = result_key("scan", dmr, config, scale, seed, check)
+        assert base != result_key("bfs", dmr, config, scale, seed, check)
+        assert base != result_key("scan", dmr, config, scale / 2, seed, check)
+        assert base != result_key("scan", dmr, config, scale, seed + 1, check)
+        assert base != result_key("scan", dmr, config, scale, seed, not check)
+        assert base != result_key(
+            "scan", dmr, dataclasses.replace(config, num_sms=config.num_sms + 1),
+            scale, seed, check,
+        )
+        assert base != result_key(
+            "scan", dataclasses.replace(dmr, enabled=not dmr.enabled),
+            config, scale, seed, check,
+        )
+        # and it is a stable function, not salted per call
+        assert base == result_key("scan", dmr, config, scale, seed, check)
+
+
+hist_keys = st.one_of(st.integers(-100, 100), st.text(max_size=8))
+
+
+class TestSerializationRoundTrip:
+    @given(bins=st.dictionaries(hist_keys, st.integers(0, 1 << 40),
+                                max_size=12))
+    def test_histogram_round_trip(self, bins):
+        hist = Histogram("h")
+        for key, count in bins.items():
+            hist._bins[key] = count
+        restored = Histogram.from_payload(hist.to_payload())
+        assert restored.as_dict() == hist.as_dict()
+        assert restored.name == hist.name
+
+    @given(counters=st.dictionaries(st.text(min_size=1, max_size=12),
+                                    st.integers(0, 1 << 40), max_size=8))
+    def test_statset_round_trip(self, counters):
+        stats = StatSet()
+        for name, value in counters.items():
+            stats.counter(name).value = value
+        restored = StatSet.from_payload(stats.to_payload())
+        assert restored.counters() == stats.counters()
+
+    @given(words=st.dictionaries(st.integers(0, 1 << 20),
+                                 st.one_of(st.integers(-(1 << 31), 1 << 31),
+                                           st.floats(allow_nan=False)),
+                                 max_size=16))
+    def test_memory_round_trip(self, words):
+        memory = GlobalMemory()
+        for addr, value in words.items():
+            memory.store(addr, value)
+        restored = GlobalMemory.from_payload(memory.to_payload())
+        assert restored.to_payload() == memory.to_payload()
+        assert restored.size_words == memory.size_words
+
+    def test_kernel_result_round_trip(self):
+        result, _ = run_program(build_counting_kernel(), GPUConfig.small(2),
+                                dmr=DMRConfig.paper_default())
+        payload = result.to_payload()
+        restored = KernelResult.from_payload(payload)
+        assert restored.to_payload() == payload
+        assert restored.cycles == result.cycles
+        assert restored.stats.counters() == result.stats.counters()
+        assert restored.coverage.coverage_percent == \
+            result.coverage.coverage_percent
+        # canonical payloads pickle to identical bytes (determinism
+        # tests and the disk cache rely on this)
+        assert pickle.dumps(restored.to_payload()) == pickle.dumps(payload)

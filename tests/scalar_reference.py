@@ -6,11 +6,19 @@ masks, and no timing — the semantics a warp-based execution must match
 exactly.  Arithmetic goes through the same :func:`compute_lane` pure
 ALU as the simulator, so any divergence between the two executions is a
 control-flow/masking bug, not a semantics difference.
+
+Threads of a block are interleaved at barriers: each thread runs until
+its next ``BAR`` (or ``EXIT``), then the block advances to the next
+barrier phase.  For barrier-race-free kernels — everything in the
+workload suite — this reproduces CUDA ``__syncthreads()`` semantics, so
+whole workloads (shared-memory scans, stencils, FFT butterflies)
+differentially test against this reference, not just thread-private
+programs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
@@ -51,17 +59,19 @@ class ScalarThread:
         raise TypeError(f"unknown operand {op!r}")
 
 
-def run_scalar_thread(program, thread: ScalarThread,
-                      global_memory: Dict[int, object],
-                      shared_memory: Dict[int, object],
-                      max_steps: int = 100_000) -> None:
-    """Run one thread to EXIT, mutating the memories in place.
+def scalar_thread_steps(program, thread: ScalarThread,
+                        global_memory: Dict[int, object],
+                        shared_memory: Dict[int, object],
+                        max_steps: int = 1_000_000) -> Iterator[int]:
+    """Run one thread, yielding its barrier count at each ``BAR``.
 
-    Barriers are no-ops (callers must only use programs whose shared
-    data flow is per-thread-private for differential runs).
+    The generator finishes at ``EXIT``; the memories mutate in place.
+    Driving every thread of a block between consecutive yields gives
+    barrier-synchronous block execution (see :func:`run_scalar_block`).
     """
     pc = 0
     steps = 0
+    barriers = 0
     while True:
         steps += 1
         assert steps < max_steps, "scalar reference did not terminate"
@@ -70,7 +80,12 @@ def run_scalar_thread(program, thread: ScalarThread,
 
         if op is Opcode.EXIT:
             return
-        if op is Opcode.BAR or op is Opcode.NOP:
+        if op is Opcode.BAR:
+            pc += 1
+            barriers += 1
+            yield barriers
+            continue
+        if op is Opcode.NOP:
             pc += 1
             continue
         if op is Opcode.JMP:
@@ -112,11 +127,32 @@ def run_scalar_thread(program, thread: ScalarThread,
         pc += 1
 
 
+def run_scalar_thread(program, thread: ScalarThread,
+                      global_memory: Dict[int, object],
+                      shared_memory: Dict[int, object],
+                      max_steps: int = 100_000) -> None:
+    """Run one thread to EXIT (barriers as no-ops), mutating memories.
+
+    Only valid for programs whose shared data flow is per-thread
+    private; barrier-synchronized kernels go through
+    :func:`run_scalar_block`.
+    """
+    for _ in scalar_thread_steps(program, thread, global_memory,
+                                 shared_memory, max_steps):
+        pass
+
+
 def run_scalar_block(program, block_id: int, block_dim: int,
                      grid_dim: int,
                      global_memory: Dict[int, object]) -> None:
-    """Run every thread of one block sequentially."""
+    """Run one block with barrier-synchronous thread interleaving.
+
+    Every thread executes to its next ``BAR`` before any thread crosses
+    it — exactly ``__syncthreads()`` for kernels free of intra-phase
+    races (threads of a phase still run one at a time, in tid order).
+    """
     shared: Dict[int, object] = {}
+    runners: List[Iterator[int]] = []
     for tid in range(block_dim):
         thread = ScalarThread(
             tid=tid, block_id=block_id, block_dim=block_dim,
@@ -124,4 +160,12 @@ def run_scalar_block(program, block_id: int, block_dim: int,
             num_regs=max(1, program.num_registers),
             num_preds=max(1, program.num_predicates),
         )
-        run_scalar_thread(program, thread, global_memory, shared)
+        runners.append(scalar_thread_steps(
+            program, thread, global_memory, shared
+        ))
+    while runners:
+        still_running: List[Iterator[int]] = []
+        for stepper in runners:
+            if next(stepper, None) is not None:
+                still_running.append(stepper)
+        runners = still_running

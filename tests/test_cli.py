@@ -3,6 +3,7 @@
 import pytest
 
 from repro.__main__ import main
+from repro.workloads import PAPER_ORDER
 
 
 class TestList:
@@ -39,12 +40,48 @@ class TestRun:
 
 
 class TestFigure:
-    def test_figure5(self, capsys):
-        assert main(["figure", "fig5", "--scale", "0.25"]) == 0
+    def test_figure5(self, capsys, tmp_path):
+        assert main(["figure", "fig5", "--scale", "0.25",
+                     "--cache-dir", str(tmp_path)]) == 0
         assert "Figure 5" in capsys.readouterr().out
 
     def test_unknown_figure(self, capsys):
         assert main(["figure", "fig99"]) == 2
+
+
+class TestFigureCacheAndJobs:
+    def test_no_cache_runs_without_disk(self, capsys, tmp_path):
+        assert main(["figure", "fig5", "--scale", "0.25", "--no-cache",
+                     "--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 5" in captured.out
+        assert "cache:" in captured.err
+        assert "disk-" not in captured.err  # persistent layer disabled
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_jobs_flag_matches_serial_output(self, capsys, tmp_path):
+        assert main(["figure", "fig5", "--scale", "0.25", "--no-cache"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["figure", "fig5", "--scale", "0.25", "--no-cache",
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_warm_cache_second_invocation(self, capsys, tmp_path):
+        """Acceptance: a warm cache means zero new simulations and a
+        table identical to the cold run's."""
+        args = ["figure", "fig9b", "--scale", "0.25",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "simulations=0" not in cold.err
+
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "simulations=0" in warm.err
+        # baseline + four ReplayQ sizes per workload, all from disk
+        expected_hits = 5 * len(PAPER_ORDER)
+        assert f"disk-hits={expected_hits}" in warm.err
 
 
 class TestInject:
