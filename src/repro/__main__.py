@@ -12,6 +12,9 @@ Commands
     (fig1, fig5, fig8a, fig8b, fig9a, fig9b, fig10, fig11).
 ``inject WORKLOAD``
     Inject a fault, report detection/corruption, and localize the lane.
+``bench``
+    Benchmark the vectorized execution engine against the scalar
+    interpreter and write machine-readable ``BENCH_exec.json``.
 """
 
 from __future__ import annotations
@@ -157,6 +160,17 @@ def cmd_inject(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.analysis.bench import format_bench, run_bench, write_bench_json
+
+    payload = run_bench(scale=args.scale, seed=args.seed, iters=args.iters,
+                        quick=args.quick)
+    print(format_bench(payload))
+    path = write_bench_json(payload, args.out)
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +211,19 @@ def build_parser() -> argparse.ArgumentParser:
     inject_parser.add_argument("--transient-cycle", type=int, default=None,
                                help="inject a one-shot flip at this cycle "
                                     "instead of a stuck-at fault")
+
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark the execution engines")
+    bench_parser.add_argument("--scale", type=float, default=0.5)
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument("--iters", type=int, default=200,
+                              help="loop trips per microbenchmark kernel")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="microbenchmarks only (CI smoke mode)")
+    bench_parser.add_argument("--out", default="BENCH_exec.json",
+                              metavar="PATH",
+                              help="JSON output path (default "
+                                   "BENCH_exec.json)")
     return parser
 
 
@@ -207,6 +234,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "figure": cmd_figure,
         "inject": cmd_inject,
+        "bench": cmd_bench,
     }[args.command]
     return handler(args)
 

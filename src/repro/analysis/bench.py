@@ -1,0 +1,250 @@
+"""Execution-engine benchmarks (``python -m repro bench``).
+
+Measures the vectorized execution engine (:mod:`repro.sim.vexec`)
+against the scalar per-lane interpreter on three levels:
+
+* **instruction throughput** — synthetic full-warp kernels that stream
+  int-ALU, float-ALU and SFU instructions with no divergence, isolating
+  raw issue-execution cost (thread-instructions per second);
+* **workload wall-clock** — every Table 4 workload end to end;
+* **cold figure regeneration** — Figure 9(b) (11 workloads x 5 DMR
+  configurations) with the result cache disabled, the heaviest everyday
+  analysis run.
+
+Results are emitted as machine-readable JSON (``BENCH_exec.json``) so
+CI can gate on the scalar/vector ratio and archive the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import LaunchConfig
+from repro.isa.opcodes import CmpOp
+from repro.isa.operands import SReg, SpecialReg
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.program import Program
+from repro.sim.gpu import GPU
+from repro.workloads import all_workloads
+
+#: engines compared by every benchmark
+ENGINES: Tuple[str, str] = ("scalar", "auto")
+
+#: static unrolled ALU ops per loop iteration in the synthetic kernels
+_UNROLL = 8
+
+
+def _int_alu_kernel(iters: int) -> Program:
+    """Full-warp integer ALU stream: IMAD/XOR/SHL/IADD dependency mesh."""
+    b = KernelBuilder("bench_int_alu")
+    i, a, c, s = b.regs(4)
+    b.mov(i, 0)
+    b.gtid(a)
+    b.iadd(c, a, 12345)
+    b.mov(s, 0)
+    b.label("loop")
+    for _ in range(_UNROLL // 4):
+        b.imad(a, a, 1103515245, c)
+        b.xor(a, a, c)
+        b.shl(c, a, 3)
+        b.iadd(s, s, a)
+    b.iadd(i, i, 1)
+    p = b.pred()
+    b.setp(p, i, CmpOp.LT, iters)
+    b.bra("loop", p)
+    r = b.reg()
+    b.gtid(r)
+    b.st_global(r, s)
+    b.exit()
+    return b.build()
+
+
+def _float_alu_kernel(iters: int) -> Program:
+    """Full-warp float stream: FFMA/FADD/FMUL chains (MatrixMul-like)."""
+    b = KernelBuilder("bench_float_alu")
+    i, t = b.reg(), b.reg()
+    x, y, acc = b.regs(3)
+    b.mov(i, 0)
+    b.gtid(t)
+    b.i2f(x, t)
+    b.fadd(y, x, 0.5)
+    b.mov(acc, 0.0)
+    b.label("loop")
+    for _ in range(_UNROLL // 4):
+        b.ffma(acc, x, y, acc)
+        b.fmul(x, x, 1.0000001)
+        b.fadd(y, y, 0.25)
+        b.fmax(acc, acc, y)
+    b.iadd(i, i, 1)
+    p = b.pred()
+    b.setp(p, i, CmpOp.LT, iters)
+    b.bra("loop", p)
+    r = b.reg()
+    b.gtid(r)
+    b.st_global(r, acc)
+    b.exit()
+    return b.build()
+
+
+def _sfu_kernel(iters: int) -> Program:
+    """Full-warp SFU stream (libor-like transcendental bursts)."""
+    b = KernelBuilder("bench_sfu")
+    i, t, x, s = b.regs(4)
+    b.mov(i, 0)
+    b.gtid(t)
+    b.i2f(x, t)
+    b.mov(s, 0.0)
+    b.label("loop")
+    b.sin(s, x)
+    b.sqrt(s, s)
+    b.exp(x, s)
+    b.log(x, x)
+    b.iadd(i, i, 1)
+    p = b.pred()
+    b.setp(p, i, CmpOp.LT, iters)
+    b.bra("loop", p)
+    r = b.reg()
+    b.gtid(r)
+    b.st_global(r, s)
+    b.exit()
+    return b.build()
+
+
+_MICROBENCHES: Dict[str, Callable[[int], Program]] = {
+    "int_alu": _int_alu_kernel,
+    "float_alu": _float_alu_kernel,
+    "sfu": _sfu_kernel,
+}
+
+
+def _time_launch(program: Program, launch: LaunchConfig,
+                 engine: str) -> Tuple[float, int]:
+    """One timed launch; returns (seconds, thread_instructions)."""
+    gpu = GPU(engine=engine)
+    start = time.perf_counter()
+    result = gpu.launch(program, launch)
+    elapsed = time.perf_counter() - start
+    return elapsed, result.stats.value("thread_instructions")
+
+
+def bench_throughput(iters: int = 200, blocks: int = 2,
+                     block_dim: int = 128) -> Dict[str, dict]:
+    """Instruction-throughput microbenchmarks, both engines.
+
+    Returns per-kernel ``{engine: {seconds, thread_instructions,
+    minst_per_s}, speedup}``; ``speedup`` is scalar-time over
+    vector-time (>1 means the vector engine wins).
+    """
+    launch = LaunchConfig(grid_dim=blocks, block_dim=block_dim)
+    report: Dict[str, dict] = {}
+    for name, build in _MICROBENCHES.items():
+        program = build(iters)
+        entry: Dict[str, object] = {}
+        for engine in ENGINES:
+            seconds, thread_insts = _time_launch(program, launch, engine)
+            entry[engine] = {
+                "seconds": seconds,
+                "thread_instructions": thread_insts,
+                "minst_per_s": thread_insts / seconds / 1e6,
+            }
+        entry["speedup"] = entry["scalar"]["seconds"] / entry["auto"]["seconds"]
+        report[name] = entry
+    return report
+
+
+def bench_workloads(scale: float = 0.5, seed: int = 0) -> Dict[str, dict]:
+    """End-to-end workload wall-clock, both engines."""
+    report: Dict[str, dict] = {}
+    for name, workload in all_workloads().items():
+        entry: Dict[str, object] = {}
+        for engine in ENGINES:
+            run = workload.prepare(scale=scale, seed=seed)
+            gpu = GPU(engine=engine)
+            start = time.perf_counter()
+            gpu.launch(run.program, run.launch, memory=run.memory)
+            entry[engine] = {"seconds": time.perf_counter() - start}
+        entry["speedup"] = (entry["scalar"]["seconds"]
+                            / entry["auto"]["seconds"])
+        report[name] = entry
+    return report
+
+
+def bench_fig9b(scale: float = 0.25, seed: int = 0) -> Dict[str, dict]:
+    """Cold (cache-disabled) Figure 9(b) regeneration, both engines."""
+    from repro.analysis.overhead_sweep import run_figure9b
+    from repro.analysis.runner import SuiteRunner, experiment_config
+
+    entry: Dict[str, object] = {}
+    for engine in ENGINES:
+        runner = SuiteRunner(experiment_config(num_sms=2), scale=scale,
+                             seed=seed, cache=None, engine=engine)
+        start = time.perf_counter()
+        run_figure9b(runner)
+        entry[engine] = {"seconds": time.perf_counter() - start}
+    entry["speedup"] = entry["scalar"]["seconds"] / entry["auto"]["seconds"]
+    return {"fig9b_cold": entry}
+
+
+def run_bench(scale: float = 0.5, seed: int = 0, iters: int = 200,
+              quick: bool = False) -> dict:
+    """Full benchmark sweep; returns the ``BENCH_exec.json`` payload."""
+    payload = {
+        "benchmark": "exec-engine",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scale": scale,
+        "seed": seed,
+        "throughput": bench_throughput(iters=iters),
+    }
+    if not quick:
+        payload["workloads"] = bench_workloads(scale=scale, seed=seed)
+        # figures regenerate at the requested scale too: the vectorized
+        # fraction (and thus the speedup) grows with kernel size, so
+        # capping the scale would understate the everyday-analysis win
+        payload["figures"] = bench_fig9b(scale=scale, seed=seed)
+    return payload
+
+
+def format_bench(payload: dict) -> str:
+    """Human-readable rendering of a benchmark payload."""
+    from repro.analysis.report import format_table
+
+    sections: List[str] = []
+    rows = [
+        [name,
+         f"{entry['scalar']['minst_per_s']:.2f}",
+         f"{entry['auto']['minst_per_s']:.2f}",
+         f"{entry['speedup']:.2f}x"]
+        for name, entry in payload["throughput"].items()
+    ]
+    sections.append(format_table(
+        ["kernel", "scalar Minst/s", "vector Minst/s", "speedup"], rows,
+        title="Instruction throughput (full warps, no divergence)",
+    ))
+    for key, title in (("workloads", "Workload wall-clock"),
+                       ("figures", "Figure regeneration (cold cache)")):
+        if key not in payload:
+            continue
+        rows = [
+            [name,
+             f"{entry['scalar']['seconds'] * 1000:.1f}",
+             f"{entry['auto']['seconds'] * 1000:.1f}",
+             f"{entry['speedup']:.2f}x"]
+            for name, entry in payload[key].items()
+        ]
+        sections.append(format_table(
+            ["name", "scalar ms", "vector ms", "speedup"], rows,
+            title=title,
+        ))
+    return "\n\n".join(sections)
+
+
+def write_bench_json(payload: dict, path: str = "BENCH_exec.json") -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

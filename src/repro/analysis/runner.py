@@ -66,17 +66,18 @@ def default_jobs() -> int:
 
 
 def _simulate_payload(args: Tuple[str, DMRConfig, GPUConfig, float, int,
-                                  bool]) -> dict:
+                                  bool, Optional[str]]) -> dict:
     """Worker entry point: simulate one spec, return the result payload.
 
     Module-level so it pickles under any multiprocessing start method;
     returns plain data (not a KernelResult) so the transfer does not
     depend on simulator classes unpickling identically in the parent.
     """
-    name, dmr, config, scale, seed, check_outputs = args
+    name, dmr, config, scale, seed, check_outputs, *rest = args
+    engine = rest[0] if rest else None  # 6-tuples predate the engine knob
     workload = get_workload(name)
     run = workload.prepare(scale, seed)
-    gpu = GPU(config, dmr=dmr)
+    gpu = GPU(config, dmr=dmr, engine=engine)
     result = gpu.launch(run.program, run.launch, memory=run.memory)
     if check_outputs:
         run.check(run.memory)
@@ -96,6 +97,12 @@ class SuiteRunner:
     for a specific directory, or a ready :class:`ResultCache`.
     ``jobs`` sets the default fan-out for :meth:`run_many` /
     :meth:`run_suite` (1 = serial in-process).
+
+    ``engine`` pins the execution engine ("scalar"/"auto"; default
+    the GPU's own resolution).  The cache key deliberately does *not*
+    include it: the engines are bit-identical by contract (enforced by
+    the differential suite), so their results are interchangeable.
+    Benchmarks that time a specific engine must disable the cache.
     """
 
     def __init__(self, config: Optional[GPUConfig] = None,
@@ -103,11 +110,12 @@ class SuiteRunner:
                  check_outputs: bool = True,
                  cache: Union[None, bool, str, os.PathLike,
                               ResultCache] = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1, engine: Optional[str] = None) -> None:
         self.config = config or experiment_config()
         self.scale = scale
         self.seed = seed
         self.check_outputs = check_outputs
+        self.engine = engine
         self.jobs = max(1, jobs)
         self._cache: Dict[str, KernelResult] = {}
         if isinstance(cache, ResultCache):
@@ -162,7 +170,8 @@ class SuiteRunner:
         if cached is not None:
             return cached
         payload = _simulate_payload(
-            (name, dmr, config, self.scale, self.seed, self.check_outputs)
+            (name, dmr, config, self.scale, self.seed, self.check_outputs,
+             self.engine)
         )
         self.simulations += 1
         result = KernelResult.from_payload(payload)
@@ -202,8 +211,8 @@ class SuiteRunner:
         if workers > 1:
             order = list(missing.items())
             args = [(name, dmr, config, self.scale, self.seed,
-                     self.check_outputs) for name, dmr, config in
-                    (spec for _, spec in order)]
+                     self.check_outputs, self.engine)
+                    for name, dmr, config in (spec for _, spec in order)]
             with concurrent.futures.ProcessPoolExecutor(
                     max_workers=workers) as pool:
                 payloads = list(pool.map(_simulate_payload, args))

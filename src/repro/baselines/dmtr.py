@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.common.bitops import iter_active_lanes
+from repro.common.bitops import active_lane_list
 from repro.common.stats import StatSet
 from repro.core.comparator import ResultComparator
 from repro.core.coverage import is_coverable
@@ -48,7 +48,7 @@ class DMTRController:
         self.stats.bump("dmtr_replays")
         self.stats.bump(f"verify_unit_{event.unit.value}")
         if self.functional_verify and executor is not None:
-            for lane in iter_active_lanes(event.hw_mask, event.warp_width):
+            for lane in active_lane_list(event.hw_mask, event.warp_width):
                 if lane not in event.lane_inputs:
                     continue  # bookkeeping issue: nothing to re-execute
                 # Core-affinity replay: DMTR re-executes on the same

@@ -9,6 +9,7 @@ dataclasses (:mod:`repro.common.config`), the exception hierarchy
 
 from repro.common.bitops import (
     ActiveMask,
+    active_lane_list,
     count_active,
     first_active_lane,
     full_mask,
@@ -37,6 +38,7 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "StatSet",
+    "active_lane_list",
     "count_active",
     "first_active_lane",
     "full_mask",

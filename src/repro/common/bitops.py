@@ -9,7 +9,8 @@ reads declaratively.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import functools
+from typing import Iterable, Iterator, Tuple
 
 #: Type alias used in signatures for readability.  A mask for a warp of
 #: width ``w`` uses the low ``w`` bits.
@@ -73,6 +74,18 @@ def iter_active_lanes(mask: ActiveMask, width: int) -> Iterator[int]:
     for lane in range(width):
         if (mask >> lane) & 1:
             yield lane
+
+
+@functools.lru_cache(maxsize=1 << 15)
+def active_lane_list(mask: ActiveMask, width: int) -> Tuple[int, ...]:
+    """Memoized tuple of active lane indices, ascending, below *width*.
+
+    Issue loops hit the same handful of masks (usually the full mask)
+    millions of times; the cache turns the per-issue bit scan into a
+    dict lookup.  The result is an immutable tuple so cached values can
+    never be corrupted by callers.
+    """
+    return tuple(lane for lane in range(width) if (mask >> lane) & 1)
 
 
 def iter_inactive_lanes(mask: ActiveMask, width: int) -> Iterator[int]:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.common.bitops import iter_active_lanes
+from repro.common.bitops import active_lane_list
 from repro.common.config import DMRConfig
 from repro.common.stats import StatSet
 from repro.core.comparator import ResultComparator
@@ -103,6 +103,8 @@ class ReplayChecker:
         type ("re-executed whenever the corresponding execution unit
         becomes available", Section 3.2).
         """
+        if self.replayq.is_empty:
+            return
         for unit in UnitType:
             if unit in used_units:
                 continue
@@ -209,7 +211,7 @@ class ReplayChecker:
         self.stats.bump(f"verify_unit_{event.unit.value}")
         if not (self.functional_verify and self._executor is not None):
             return
-        for lane in iter_active_lanes(event.hw_mask, event.warp_width):
+        for lane in active_lane_list(event.hw_mask, event.warp_width):
             if lane not in event.lane_inputs:
                 # no datapath computation on this lane (EXIT/JMP/BAR
                 # style bookkeeping issues have nothing to re-execute)

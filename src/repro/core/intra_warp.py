@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.common.bitops import iter_active_lanes
+from repro.common.bitops import active_lane_list
 from repro.common.stats import StatSet
 from repro.core.comparator import ResultComparator
 from repro.core.rfu import RegisterForwardingUnit
@@ -81,7 +81,7 @@ class IntraWarpDMR:
         """Active lanes left unverified (coverage-gap accounting)."""
         verified = self.verified_mask(event)
         count = 0
-        for lane in iter_active_lanes(event.hw_mask, event.warp_width):
+        for lane in active_lane_list(event.hw_mask, event.warp_width):
             if not (verified >> lane) & 1:
                 count += 1
         return count

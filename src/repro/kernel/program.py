@@ -9,7 +9,9 @@ validation and reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
 
 from repro.common.errors import KernelError
 from repro.isa.instruction import Instruction
@@ -40,6 +42,36 @@ class Program:
                 f"program {self.name!r} must end with exit or an "
                 "unconditional jump"
             )
+
+    def memo(self, key: str, build: Callable[["Program"], T]) -> T:
+        """Per-program memo slot for derived artifacts (decode caches).
+
+        A program is immutable, so anything computed from it — operand
+        fetch plans, vectorized handler tables, static analyses — is
+        computed at most once and shared by every SM executing the
+        program.  ``build(program)`` runs on first request for *key*;
+        later calls return the stored artifact.  The memo lives outside
+        the dataclass fields (lazy ``object.__setattr__``), so equality,
+        hashing of instructions, and pickling are unaffected.
+        """
+        cache = self.__dict__.get("_memo")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_memo", cache)
+        if key not in cache:
+            cache[key] = build(self)
+        return cache[key]
+
+    def __getstate__(self):
+        """Pickle only the declared fields, never the memo cache."""
+        return {
+            field_name: self.__dict__[field_name]
+            for field_name in self.__dataclass_fields__  # type: ignore[attr-defined]
+            if field_name in self.__dict__
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -1,14 +1,21 @@
 """Functional execution of mini-ISA instructions.
 
-Two layers:
+Three layers:
 
-* :func:`compute_lane` — the *pure* ALU: opcode + operand values in,
-  result value out.  Both the original execution and every DMR
-  re-execution go through this single function, so a redundant
-  execution is bit-identical unless a fault model perturbs one of them.
-* :class:`Executor` — the stateful layer: reads registers/special
-  registers, applies the fault hook at the execution unit, writes
-  results back, performs memory accesses and resolves control flow.
+* :func:`compute_lane` — the *pure* scalar ALU: opcode + operand values
+  in, result value out.  Every DMR re-execution and the scalar
+  (slow-path) interpreter go through this single function, so a
+  redundant execution is bit-identical unless a fault model perturbs
+  one of them.
+* :mod:`repro.sim.vexec` — the lane-vectorized fast path: per-program
+  decode cache plus compiled per-opcode NumPy kernels that execute a
+  whole warp issue at once.
+* :class:`Executor` — the stateful layer that picks between them.  The
+  vector engine runs whenever no fault hook is armed and the issue is
+  vectorizable; fault-injection campaigns (and anything the vector
+  engine declines via :class:`~repro.sim.vexec.VectorFallback`) run the
+  scalar path, which therefore remains both the fault-injection engine
+  and the differential oracle for the fast path.
 
 Integer results wrap to signed 32-bit (like real SPs); shifts and
 bitwise operations act on the unsigned 32-bit pattern.
@@ -17,19 +24,32 @@ bitwise operations act on the unsigned 32-bit pattern.
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.common.bitops import ActiveMask, iter_active_lanes
+from repro.common.bitops import ActiveMask, active_lane_list
 from repro.common.errors import SimulationError
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import CmpOp, Opcode, UnitType
 from repro.isa.operands import Imm, Reg, SReg, SpecialReg
+from repro.sim import vexec
 from repro.sim.events import IssueEvent
 from repro.sim.memory import GlobalMemory
 from repro.sim.warp import Warp
 
 _U32 = 0xFFFFFFFF
+
+#: SETP comparison semantics, resolved once at import instead of
+#: rebuilding a dict (and evaluating all six compares) per lane.
+_SETP_CMP = {
+    CmpOp.EQ: operator.eq, CmpOp.NE: operator.ne,
+    CmpOp.LT: operator.lt, CmpOp.LE: operator.le,
+    CmpOp.GT: operator.gt, CmpOp.GE: operator.ge,
+}
+
+#: engines an :class:`Executor` can be pinned to
+ENGINES = ("auto", "scalar")
 
 
 def _wrap_i32(value: int) -> int:
@@ -43,8 +63,8 @@ def _as_u32(value: object) -> int:
 
 
 def _as_int(value: object) -> int:
-    if isinstance(value, float):
-        return int(value)
+    # int() already truncates floats toward zero, which is exactly the
+    # F2I semantics; no float special-casing needed.
     return int(value)
 
 
@@ -146,11 +166,7 @@ def compute_lane(inst: Instruction, inputs: Tuple) -> object:
             a, b = _as_float(a), _as_float(b)
         else:
             a, b = _as_int(a), _as_int(b)
-        return {
-            CmpOp.EQ: a == b, CmpOp.NE: a != b,
-            CmpOp.LT: a < b, CmpOp.LE: a <= b,
-            CmpOp.GT: a > b, CmpOp.GE: a >= b,
-        }[inst.cmp]
+        return _SETP_CMP[inst.cmp](a, b)
     if op is Opcode.SELP:
         return inputs[0] if inputs[2] else inputs[1]
     if op is Opcode.BRA:
@@ -197,13 +213,40 @@ class ExecResult:
 
 
 class Executor:
-    """Stateful functional executor bound to one SM."""
+    """Stateful functional executor bound to one SM.
+
+    ``engine`` selects the execution strategy: ``"auto"`` (default)
+    runs the vectorized engine whenever it can reproduce scalar
+    semantics bit-for-bit and no fault hook is armed, ``"scalar"`` pins
+    every issue to the per-lane interpreter.  An armed fault hook
+    always forces the scalar path — faults are injected per lane, and
+    the lane-serial order is part of the fault model's contract.
+    """
 
     def __init__(self, sm_id: int, global_memory: GlobalMemory,
-                 fault_hook: Optional[FaultHook] = None) -> None:
+                 fault_hook: Optional[FaultHook] = None,
+                 engine: str = "auto") -> None:
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown execution engine {engine!r}; expected one of "
+                f"{ENGINES}"
+            )
         self.sm_id = sm_id
         self.global_memory = global_memory
         self.fault_hook = fault_hook or FaultHook()
+        self.engine = engine
+        self._vector_enabled = engine == "auto" and fault_hook is None
+        self._decoded: Optional[list] = None
+        self._adhoc: Dict[Instruction, vexec.DecodedInst] = {}
+        #: issue counts per engine (diagnostics; not part of StatSet so
+        #: result payloads stay byte-identical across engines)
+        self.vector_issues = 0
+        self.scalar_issues = 0
+
+    def bind_program(self, program) -> None:
+        """Attach *program*'s decode cache for O(1) per-pc lookups."""
+        self._decoded = (vexec.decoded(program)
+                         if self._vector_enabled else None)
 
     # ------------------------------------------------------------------
     def _operand_value(self, warp: Warp, slot: int, operand) -> object:
@@ -233,12 +276,27 @@ class Executor:
         """Apply the instruction's guard predicate to the SIMT mask."""
         if inst.pred is None:
             return mask
-        guarded = 0
-        for slot in iter_active_lanes(mask, warp.live_slots):
-            value = warp.read_pred(slot, inst.pred)
-            if value != inst.pred_neg:
-                guarded |= 1 << slot
-        return guarded
+        bits = vexec.mask_bits(mask, warp.live_slots)
+        holds = warp.preds[:, inst.pred] != inst.pred_neg
+        return vexec.pack_mask(bits & holds)
+
+    def _decoded_entry(self, warp: Warp, inst: Instruction,
+                       pc: int) -> Optional[vexec.DecodedInst]:
+        """Decode-cache lookup, or ``None`` if the issue must go scalar."""
+        if not self._vector_enabled or warp.reg_overflow:
+            return None
+        decoded = self._decoded
+        if (decoded is not None and pc < len(decoded)
+                and decoded[pc].inst is inst):
+            entry = decoded[pc]
+        else:
+            # unbound program (direct Executor use): decode on demand,
+            # keyed by instruction equality
+            entry = self._adhoc.get(inst)
+            if entry is None:
+                entry = vexec.DecodedInst(inst)
+                self._adhoc[inst] = entry
+        return entry if entry.fn is not None else None
 
     # ------------------------------------------------------------------
     def execute(self, warp: Warp, inst: Instruction, pc: int,
@@ -288,8 +346,19 @@ class Executor:
             control.target = int(inst.target)
             return ExecResult(event, control)
 
+        entry = self._decoded_entry(warp, inst, pc)
+        if entry is not None:
+            try:
+                vexec.execute_vector(self, warp, entry, event, exec_mask,
+                                     control)
+                self.vector_issues += 1
+                return ExecResult(event, control)
+            except vexec.VectorFallback:
+                pass  # state untouched; re-run the issue below
+
+        self.scalar_issues += 1
         taken_mask = 0
-        for slot in iter_active_lanes(exec_mask, warp.live_slots):
+        for slot in active_lane_list(exec_mask, warp.live_slots):
             hw_lane = warp.lane_of_slot[slot]
             if op is Opcode.BRA:
                 condition = warp.read_pred(slot, inst.pred) != inst.pred_neg

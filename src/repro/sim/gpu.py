@@ -10,6 +10,7 @@ only consumes per-SM issue streams and total kernel cycles.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -100,11 +101,16 @@ class GPU:
         dmr: Optional[DMRConfig] = None,
         fault_hook: Optional[FaultHook] = None,
         max_cycles: int = DEFAULT_MAX_CYCLES,
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config or GPUConfig.paper_baseline()
         self.dmr = dmr or DMRConfig.disabled()
         self.fault_hook = fault_hook
         self.max_cycles = max_cycles
+        # execution engine: explicit arg > REPRO_EXEC env var > auto.
+        # "auto" means vectorized whenever exactness allows (never with
+        # a fault hook armed); "scalar" pins the per-lane interpreter.
+        self.engine = engine or os.environ.get("REPRO_EXEC", "auto")
 
     def launch(
         self,
@@ -163,6 +169,7 @@ class GPU:
                 lane_of_slot=lane_of_slot,
                 fault_hook=self.fault_hook,
                 max_cycles=self.max_cycles,
+                engine=self.engine,
             )
             if controller_factory is not None:
                 sm.dmr = controller_factory(sm.stats)

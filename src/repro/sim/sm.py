@@ -47,6 +47,7 @@ class SM:
         dmr: Optional[object] = None,
         fault_hook: Optional[FaultHook] = None,
         max_cycles: int = DEFAULT_MAX_CYCLES,
+        engine: str = "auto",
     ) -> None:
         self.sm_id = sm_id
         self.config = config
@@ -56,7 +57,9 @@ class SM:
         self.lane_of_slot = lane_of_slot
         self.dmr = dmr
         self.max_cycles = max_cycles
-        self.executor = Executor(sm_id, global_memory, fault_hook)
+        self.executor = Executor(sm_id, global_memory, fault_hook,
+                                 engine=engine)
+        self.executor.bind_program(program)
         self._schedulers = [
             WarpScheduler(config.scheduler)
             for _ in range(config.num_schedulers)
@@ -68,6 +71,7 @@ class SM:
         self._resident_warps: List[Warp] = []
         self._resident_blocks: List[ThreadBlock] = []
         self._next_warp_id = 0
+        self._retire_pending = False
         self._last_write_cycle: Dict[Tuple[int, int], int] = {}
         self._unit_run: Tuple[Optional[UnitType], int] = (None, 0)
         self._issue_listeners: List[Callable[[IssueEvent], None]] = []
@@ -144,9 +148,11 @@ class SM:
         return self.stats
 
     def _has_work(self) -> bool:
-        if self._pending_blocks:
-            return True
-        return any(not warp.done for warp in self._resident_warps)
+        # the resident list is pruned as soon as a warp finishes
+        # (see _retire_pending), so membership implies live work
+        if self._retire_pending:
+            return any(not warp.done for warp in self._resident_warps)
+        return bool(self._pending_blocks or self._resident_warps)
 
     def _retire_finished(self) -> None:
         before = len(self._resident_warps)
@@ -202,7 +208,12 @@ class SM:
                 self.dmr.on_idle(cycle)
         elif issued == 2:
             self.stats.bump("dual_issue_cycles")
-        self._retire_finished()
+        if self._retire_pending:
+            # warps only finish through an issued EXIT (flagged by
+            # _issue), so ticks without a finishing issue skip the
+            # retire scan entirely
+            self._retire_pending = False
+            self._retire_finished()
 
     def _warps_of_scheduler(self, index: int) -> List[Warp]:
         """Warps served by scheduler *index* (parity split when dual)."""
@@ -216,6 +227,8 @@ class SM:
     def _issue(self, warp: Warp, inst, cycle: int) -> None:
         result = self.executor.execute(warp, inst, warp.pc, cycle)
         self._apply_control(warp, inst, result)
+        if warp.done:
+            self._retire_pending = True
         self._charge_latency(warp, inst, cycle)
         self._record_stats(result.event, cycle)
         if self.config.model_bank_conflicts:

@@ -9,16 +9,55 @@ Logical slot ``j`` of a warp is thread ``warp_base + j`` of its block.
 The SIMT stack and all functional state are indexed by logical slot; the
 hardware lane only matters to Warped-DMR (cluster pairing, fault sites),
 so the mapping is a pure permutation applied when building hw masks.
+
+Register state is held in NumPy *planes* so the vectorized execution
+engine (:mod:`repro.sim.vexec`) can gather a whole operand column in one
+slice: an ``int64`` value plane, a ``float64`` value plane, and a dtype
+tag plane saying which one holds lane ``slot``'s architectural value for
+each register.  Integer results always wrap to signed 32 bits before
+write-back, so ``int64`` is lossless; the rare value that fits neither
+plane (a huge immediate, a bool smuggled through memory) parks in an
+overflow side table and drops the warp back to the scalar engine.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-from repro.common.bitops import ActiveMask, full_mask, iter_active_lanes
+import numpy as np
+
+from repro.common.bitops import ActiveMask, active_lane_list, full_mask
 from repro.common.errors import SimulationError
 from repro.sim.scoreboard import Scoreboard
 from repro.sim.simt_stack import SIMTStack
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+#: hw-mask permutation tables, shared across warps: one entry per
+#: distinct lane mapping, holding four 256-entry byte tables so
+#: ``hw_mask`` is four lookups instead of a per-bit permutation loop.
+_HW_MASK_TABLES: Dict[Tuple[int, ...], List[List[int]]] = {}
+
+
+def _hw_mask_tables(lane_of_slot: Tuple[int, ...]) -> List[List[int]]:
+    tables = _HW_MASK_TABLES.get(lane_of_slot)
+    if tables is None:
+        width = len(lane_of_slot)
+        tables = []
+        for byte_index in range((width + 7) // 8):
+            base = byte_index * 8
+            table = [0] * 256
+            for byte in range(256):
+                hw = 0
+                for bit in range(8):
+                    slot = base + bit
+                    if slot < width and (byte >> bit) & 1:
+                        hw |= 1 << lane_of_slot[slot]
+                table[byte] = hw
+            tables.append(table)
+        _HW_MASK_TABLES[lane_of_slot] = tables
+    return tables
 
 
 class ThreadBlock:
@@ -105,14 +144,32 @@ class Warp:
         self.slot_of_lane = [0] * warp_size
         for slot, lane in enumerate(self.lane_of_slot):
             self.slot_of_lane[lane] = slot
+        self.identity_mapping = self.lane_of_slot == list(range(warp_size))
+        self._live_mask = full_mask(live_threads)
+        self._hw_tables = (None if self.identity_mapping
+                           else _hw_mask_tables(tuple(self.lane_of_slot)))
 
-        # architectural registers, indexed [slot][reg]
-        self.regs: List[List[object]] = [
-            [0] * num_registers for _ in range(live_threads)
-        ]
-        self.preds: List[List[bool]] = [
-            [False] * num_predicates for _ in range(live_threads)
-        ]
+        # architectural registers: value planes + dtype tags, [slot, reg]
+        regs = max(1, num_registers)
+        preds = max(1, num_predicates)
+        self.reg_i = np.zeros((live_threads, regs), dtype=np.int64)
+        self.reg_f = np.zeros((live_threads, regs), dtype=np.float64)
+        self.reg_isf = np.zeros((live_threads, regs), dtype=np.bool_)
+        self.preds = np.zeros((live_threads, preds), dtype=np.bool_)
+        #: (slot, reg) -> value for the rare value no plane can hold;
+        #: non-empty forces the scalar execution path.
+        self.reg_overflow: Dict[Tuple[int, int], object] = {}
+
+        # per-slot identity vectors for vectorized special-register reads
+        self.tid_vec = np.arange(warp_base, warp_base + live_threads,
+                                 dtype=np.int64)
+        self.gtid_vec = block.block_id * block.block_dim + self.tid_vec
+        self.laneid_vec = np.asarray(self.lane_of_slot[:live_threads],
+                                     dtype=np.int64)
+
+        #: mask -> (slot selector, slot list, hw-lane list) for issues
+        self._issue_views: Dict[int, Tuple[object, Sequence[int],
+                                           List[int]]] = {}
 
     # -- identity --------------------------------------------------------
     def tid(self, slot: int) -> int:
@@ -125,11 +182,47 @@ class Warp:
 
     # -- masks -------------------------------------------------------------
     def hw_mask(self, logical_mask: ActiveMask) -> ActiveMask:
-        """Permute a logical-slot mask into hardware-lane space."""
-        mask = 0
-        for slot in iter_active_lanes(logical_mask, self.live_slots):
-            mask |= 1 << self.lane_of_slot[slot]
-        return mask
+        """Permute a logical-slot mask into hardware-lane space.
+
+        Identity mappings (the believed-default in-order policy) pass
+        the mask through; permuted mappings combine four byte-table
+        lookups instead of re-permuting bit by bit on every issue.
+        """
+        logical_mask &= self._live_mask
+        if self.identity_mapping:
+            return logical_mask
+        tables = self._hw_tables
+        hw = tables[0][logical_mask & 0xFF]
+        byte = logical_mask >> 8
+        index = 1
+        while byte:
+            hw |= tables[index][byte & 0xFF]
+            byte >>= 8
+            index += 1
+        return hw
+
+    def issue_view(self, logical_mask: ActiveMask):
+        """Memoized per-mask issue geometry.
+
+        Returns ``(sel, slots, hw_lanes)`` where ``sel`` indexes the
+        register planes for the mask's active slots (a full slice when
+        every live slot is active — a view, not a copy), ``slots`` is
+        the ascending active-slot list and ``hw_lanes`` the matching
+        hardware lanes.  Warps see only a handful of distinct masks over
+        a kernel, so this is computed once per (warp, mask).
+        """
+        view = self._issue_views.get(logical_mask)
+        if view is None:
+            if logical_mask == self._live_mask:
+                slots: Sequence[int] = range(self.live_slots)
+                sel: object = slice(None)
+            else:
+                slots = active_lane_list(logical_mask, self.live_slots)
+                sel = np.asarray(slots, dtype=np.intp)
+            hw_lanes = [self.lane_of_slot[slot] for slot in slots]
+            view = (sel, slots, hw_lanes)
+            self._issue_views[logical_mask] = view
+        return view
 
     @property
     def done(self) -> bool:
@@ -151,16 +244,39 @@ class Warp:
 
     # -- register access -----------------------------------------------------
     def read_reg(self, slot: int, reg: int) -> object:
-        return self.regs[slot][reg]
+        if self.reg_overflow:
+            value = self.reg_overflow.get((slot, reg))
+            if value is not None:
+                return value
+        if self.reg_isf[slot, reg]:
+            return self.reg_f[slot, reg].item()
+        return self.reg_i[slot, reg].item()
 
     def write_reg(self, slot: int, reg: int, value: object) -> None:
-        self.regs[slot][reg] = value
+        kind = type(value)
+        if kind is int:
+            if _I64_MIN <= value <= _I64_MAX:
+                self.reg_i[slot, reg] = value
+                self.reg_isf[slot, reg] = False
+            else:
+                self.reg_overflow[(slot, reg)] = value
+                return
+        elif kind is float:
+            self.reg_f[slot, reg] = value
+            self.reg_isf[slot, reg] = True
+        else:
+            # bools, numpy scalars, whatever a workload smuggled through
+            # memory: preserved verbatim, at the cost of scalar execution.
+            self.reg_overflow[(slot, reg)] = value
+            return
+        if self.reg_overflow:
+            self.reg_overflow.pop((slot, reg), None)
 
     def read_pred(self, slot: int, pred: int) -> bool:
-        return self.preds[slot][pred]
+        return bool(self.preds[slot, pred])
 
     def write_pred(self, slot: int, pred: int, value: bool) -> None:
-        self.preds[slot][pred] = value
+        self.preds[slot, pred] = value
 
     def __repr__(self) -> str:
         return (
