@@ -1,0 +1,94 @@
+"""Perf gates for the scaled fault-campaign engine.
+
+Not collected by the default pytest run (``testpaths`` excludes
+``benchmarks/``); CI's campaign-smoke job runs this file explicitly and
+uploads the emitted ``BENCH_campaign.json``.
+
+Three properties are gated:
+
+* warm-cache reruns perform **zero** simulations (the resumability
+  contract, which is also what makes interrupted campaigns free to
+  restart);
+* parallel fan-out classifies identically to serial;
+* with >= 4 usable cores, 4 workers sustain >= 3x serial throughput on
+  the smoke workload.  The scaling gate is skipped on smaller runners —
+  a 1-core container physically cannot exhibit it — but the benchmark
+  numbers are emitted everywhere so regressions stay visible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.bench import bench_campaign, write_bench_json
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[1] / "results"
+
+#: serial-time / parallel-time floor at 4 workers (only on >= 4 cores)
+MIN_PARALLEL_SPEEDUP = 3.0
+
+#: smoke-campaign shape: big enough that fork/IPC overhead is amortized
+SMOKE_SAMPLES = 200
+SMOKE_WORKERS = 4
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def campaign() -> dict:
+    return bench_campaign(workload="scan", samples=SMOKE_SAMPLES,
+                          scale=0.5, parallel=SMOKE_WORKERS)
+
+
+def test_warm_cache_rerun_is_free(campaign):
+    modes = campaign["modes"]
+    assert modes["serial_cold"]["simulations"] == SMOKE_SAMPLES
+    assert modes["parallel_cold"]["simulations"] == SMOKE_SAMPLES
+    assert modes["parallel_warm"]["simulations"] == 0, (
+        "a warm-cache campaign rerun re-simulated faults"
+    )
+
+
+def test_parallel_classifies_identically(campaign):
+    modes = campaign["modes"]
+    assert modes["parallel_cold"]["outcomes"] == modes["serial_cold"]["outcomes"]
+    assert modes["parallel_warm"]["outcomes"] == modes["serial_cold"]["outcomes"]
+
+
+def test_warm_rerun_is_faster_than_cold(campaign):
+    modes = campaign["modes"]
+    assert (modes["parallel_warm"]["seconds"]
+            < modes["parallel_cold"]["seconds"])
+
+
+@pytest.mark.skipif(usable_cpus() < SMOKE_WORKERS,
+                    reason=f"parallel-scaling gate needs >= {SMOKE_WORKERS} "
+                           f"cores, have {usable_cpus()}")
+def test_parallel_speedup_gate(campaign):
+    speedup = campaign["parallel_speedup"]
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"campaign fan-out at {SMOKE_WORKERS} workers only "
+        f"{speedup:.2f}x over serial (gate {MIN_PARALLEL_SPEEDUP}x); "
+        "did the worker chunking or the pool plumbing regress?"
+    )
+
+
+def test_emit_bench_json(campaign):
+    """Produce the machine-readable artifact CI archives."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = write_bench_json(campaign,
+                            str(RESULTS_DIR / "BENCH_campaign.json"))
+    with open(path, encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    assert loaded["benchmark"] == "fault-campaign"
+    assert set(loaded["modes"]) == {"serial_cold", "parallel_cold",
+                                    "parallel_warm"}

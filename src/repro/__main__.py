@@ -15,6 +15,12 @@ Commands
 ``bench``
     Benchmark the vectorized execution engine against the scalar
     interpreter and write machine-readable ``BENCH_exec.json``.
+``campaign WORKLOAD``
+    Run a scaled fault-injection campaign: stratified transient-fault
+    samples, parallel workers, persistent result cache (a rerun or a
+    resumed campaign performs zero new simulations).  Writes
+    machine-readable ``BENCH_campaign.json`` with the outcome
+    histogram, coverage confidence interval and faults/second.
 """
 
 from __future__ import annotations
@@ -98,6 +104,8 @@ def cmd_figure(args) -> int:
         "fig8a": (switching.run_figure8a, switching.format_figure8a),
         "fig8b": (raw_distance.run_figure8b, raw_distance.format_figure8b),
         "fig9a": (coverage_sweep.run_figure9a, coverage_sweep.format_figure9a),
+        "fig9a-sampled": (coverage_sweep.run_figure9a_sampled,
+                          coverage_sweep.format_figure9a_sampled),
         "fig9b": (overhead_sweep.run_figure9b, overhead_sweep.format_figure9b),
         "fig10": (approaches.run_figure10, approaches.format_figure10),
         "fig11": (power_energy.run_figure11, power_energy.format_figure11),
@@ -171,6 +179,87 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _campaign_cache(args):
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    return True
+
+
+def cmd_campaign(args) -> int:
+    import json
+    import time
+
+    from repro.analysis.runner import experiment_config
+    from repro.faults import CampaignEngine, CampaignSpec, FaultSampler
+
+    spec = CampaignSpec(
+        workload=args.workload,
+        config=experiment_config(num_sms=args.sms),
+        dmr=DMRConfig.paper_default(),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    engine = CampaignEngine(spec, cache=_campaign_cache(args),
+                            jobs=args.parallel)
+    sampler = FaultSampler(spec.config, windows=args.windows)
+    horizon = engine.golden_result().cycles
+    faults = sampler.sample(args.samples, horizon, seed=args.seed)
+
+    start = time.perf_counter()
+    result = engine.run(faults)
+    seconds = time.perf_counter() - start
+    low, high = result.coverage_interval(args.confidence)
+
+    histogram = result.summary()
+    payload = {
+        "benchmark": "fault-campaign",
+        "workload": args.workload,
+        "scale": args.scale,
+        "seed": args.seed,
+        "sms": args.sms,
+        "samples": result.total,
+        "workers": args.parallel,
+        "horizon_cycles": horizon,
+        "cycle_budget": engine.cycle_budget(),
+        "seconds": seconds,
+        "faults_per_s": result.total / seconds if seconds else 0.0,
+        "simulations": engine.simulations,
+        "outcomes": histogram,
+        "coverage": {
+            "rate": result.detection_rate,
+            "detected": result.detected_runs,
+            "harmful": result.harmful_runs,
+            "confidence": args.confidence,
+            "low": low,
+            "high": high,
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    half_width = 100 * (high - low) / 2
+    print(f"workload          : {args.workload} (scale {args.scale}, "
+          f"seed {args.seed})")
+    print(f"faults injected   : {result.total} "
+          f"({args.windows} cycle windows over {horizon} golden cycles)")
+    print("outcomes          : " + "  ".join(
+        f"{name}={count}" for name, count in histogram.items()))
+    print(f"coverage          : {100 * result.detection_rate:.2f}% "
+          f"± {half_width:.2f} "
+          f"({result.detected_runs}/{result.harmful_runs} harmful faults "
+          f"detected, {int(args.confidence * 100)}% CI "
+          f"[{100 * low:.2f}, {100 * high:.2f}])")
+    print(f"throughput        : {payload['faults_per_s']:.1f} faults/s "
+          f"({engine.simulations} simulated, "
+          f"{result.total - engine.simulations} from cache)")
+    print(f"wrote {args.out}", file=sys.stderr)
+    print(engine.cache_summary(), file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -224,6 +313,43 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="PATH",
                               help="JSON output path (default "
                                    "BENCH_exec.json)")
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="scaled fault-injection campaign")
+    campaign_parser.add_argument("workload")
+    campaign_parser.add_argument("--scale", type=float, default=0.5,
+                                 help="problem-size scale in (0, 1] "
+                                      "(default 0.5)")
+    campaign_parser.add_argument("--sms", type=int, default=1,
+                                 help="SM count (campaigns inject into "
+                                      "SM 0; default 1)")
+    campaign_parser.add_argument("--seed", type=int, default=0,
+                                 help="workload-input and fault-sampling "
+                                      "seed")
+    campaign_parser.add_argument("--samples", type=int, default=200,
+                                 help="stratified transient-fault samples "
+                                      "(default 200)")
+    campaign_parser.add_argument("--parallel", type=int, default=1,
+                                 metavar="N",
+                                 help="classify cache misses in N worker "
+                                      "processes (default 1)")
+    campaign_parser.add_argument("--windows", type=int, default=4,
+                                 help="cycle windows per stratum "
+                                      "(default 4)")
+    campaign_parser.add_argument("--confidence", type=float, default=0.95,
+                                 help="coverage-interval confidence "
+                                      "(default 0.95)")
+    campaign_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache (simulate everything)")
+    campaign_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default $REPRO_CACHE_DIR "
+             "or ~/.cache/repro)")
+    campaign_parser.add_argument("--out", default="BENCH_campaign.json",
+                                 metavar="PATH",
+                                 help="JSON output path (default "
+                                      "BENCH_campaign.json)")
     return parser
 
 
@@ -235,6 +361,7 @@ def main(argv=None) -> int:
         "figure": cmd_figure,
         "inject": cmd_inject,
         "bench": cmd_bench,
+        "campaign": cmd_campaign,
     }[args.command]
     return handler(args)
 

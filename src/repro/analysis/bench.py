@@ -189,6 +189,91 @@ def bench_fig9b(scale: float = 0.25, seed: int = 0) -> Dict[str, dict]:
     return {"fig9b_cold": entry}
 
 
+def bench_campaign(workload: str = "scan", samples: int = 200,
+                   scale: float = 0.5, seed: int = 0,
+                   parallel: int = 4, windows: int = 4) -> dict:
+    """Fault-campaign throughput: serial vs parallel, cold vs warm.
+
+    Runs the same stratified fault sample three ways — serial with an
+    empty cache, parallel with an empty cache, and parallel again over
+    the parallel run's populated cache — and reports faults/second plus
+    the simulations each mode actually performed (the warm mode must
+    report zero).  Caches live in a temporary directory so the numbers
+    never alias a developer's real result cache.
+    """
+    import os
+    import tempfile
+
+    from repro.analysis.runner import experiment_config
+    from repro.common.config import DMRConfig
+    from repro.faults.campaign import CampaignEngine, CampaignSpec
+    from repro.faults.sampler import FaultSampler
+
+    config = experiment_config(num_sms=1)
+    spec = CampaignSpec(workload=workload, config=config,
+                        dmr=DMRConfig.paper_default(), scale=scale,
+                        seed=seed)
+    horizon = CampaignEngine(spec).golden_result().cycles
+    faults = FaultSampler(config, windows=windows).sample(
+        samples, horizon, seed=seed)
+
+    payload: Dict[str, object] = {
+        "benchmark": "fault-campaign",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+        "workload": workload,
+        "samples": len(faults),
+        "scale": scale,
+        "seed": seed,
+        "workers": parallel,
+    }
+    modes: Dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        parallel_dir = os.path.join(tmp, "parallel")
+        plan = (
+            ("serial_cold", 1, os.path.join(tmp, "serial")),
+            ("parallel_cold", parallel, parallel_dir),
+            ("parallel_warm", parallel, parallel_dir),
+        )
+        for mode, jobs, cache_dir in plan:
+            engine = CampaignEngine(spec, cache=cache_dir, jobs=jobs)
+            engine.golden_output()  # baseline outside the timed region
+            start = time.perf_counter()
+            result = engine.run(faults)
+            seconds = time.perf_counter() - start
+            modes[mode] = {
+                "seconds": seconds,
+                "faults_per_s": len(faults) / seconds,
+                "simulations": engine.simulations,
+                "outcomes": result.summary(),
+            }
+    payload["modes"] = modes
+    payload["parallel_speedup"] = (modes["serial_cold"]["seconds"]
+                                   / modes["parallel_cold"]["seconds"])
+    return payload
+
+
+def format_campaign_bench(payload: dict) -> str:
+    """Human-readable rendering of a campaign-benchmark payload."""
+    from repro.analysis.report import format_table
+
+    rows = [
+        [mode,
+         f"{entry['seconds'] * 1000:.1f}",
+         f"{entry['faults_per_s']:.1f}",
+         str(entry["simulations"])]
+        for mode, entry in payload["modes"].items()
+    ]
+    return format_table(
+        ["mode", "ms", "faults/s", "simulations"], rows,
+        title=(f"Campaign throughput: {payload['workload']} x "
+               f"{payload['samples']} faults, {payload['workers']} workers "
+               f"({payload['cpus']} cpus), "
+               f"parallel speedup {payload['parallel_speedup']:.2f}x"),
+    )
+
+
 def run_bench(scale: float = 0.5, seed: int = 0, iters: int = 200,
               quick: bool = False) -> dict:
     """Full benchmark sweep; returns the ``BENCH_exec.json`` payload."""

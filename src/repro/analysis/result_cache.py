@@ -73,7 +73,13 @@ def result_key(name: str, dmr: DMRConfig, config: GPUConfig,
 
 
 class ResultCache:
-    """Persistent KernelResult store, one pickle file per key.
+    """Persistent plain-data payload store, one pickle file per key.
+
+    The classic use stores :class:`KernelResult` payloads (:meth:`get` /
+    :meth:`put`); fault campaigns store per-fault-run payloads through
+    the generic :meth:`get_payload` / :meth:`put_payload` layer — both
+    kinds share one directory because the SHA-256 keys are already
+    domain-salted by their material.
 
     Reads tolerate missing/corrupt/stale files (treated as misses) and
     writes are atomic (temp file + rename), so concurrent runners and
@@ -91,22 +97,21 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.cache_dir / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[KernelResult]:
-        """The cached result for *key*, or ``None`` on any miss."""
+    def get_payload(self, key: str) -> Optional[object]:
+        """The cached plain-data payload for *key*, or ``None`` on miss."""
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
-            result = KernelResult.from_payload(payload)
         except (OSError, pickle.UnpicklingError, EOFError, KeyError,
                 TypeError, AttributeError, ValueError):
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return payload
 
-    def put(self, key: str, result: KernelResult) -> None:
-        """Store *result* under *key* atomically."""
+    def put_payload(self, key: str, payload: object) -> None:
+        """Store a plain-data *payload* under *key* atomically."""
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         except (FileExistsError, NotADirectoryError) as error:
@@ -118,7 +123,7 @@ class ResultCache:
                                         suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result.to_payload(), handle,
+                pickle.dump(payload, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
         except BaseException:
@@ -128,6 +133,25 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+
+    def get(self, key: str) -> Optional[KernelResult]:
+        """The cached :class:`KernelResult` for *key*, or ``None``."""
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        try:
+            return KernelResult.from_payload(payload)
+        except (KeyError, TypeError, AttributeError, ValueError):
+            # a readable pickle that is not a KernelResult payload is a
+            # miss, not an error (e.g. a campaign payload under a
+            # colliding-by-bug key); re-book the optimistic hit
+            self.hits -= 1
+            self.misses += 1
+            return None
+
+    def put(self, key: str, result: KernelResult) -> None:
+        """Store *result* under *key* atomically."""
+        self.put_payload(key, result.to_payload())
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

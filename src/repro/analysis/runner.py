@@ -65,6 +65,23 @@ def default_jobs() -> int:
     return max(1, min(4, cpus))
 
 
+def pool_map(fn, args: Sequence, workers: int) -> List:
+    """Map *fn* over *args* in a worker-process pool, preserving order.
+
+    The shared fan-out primitive for everything that scales by adding
+    simulations — suite runs and fault campaigns both route their cache
+    misses through here.  *fn* must be module-level (picklable under
+    any multiprocessing start method) and should return plain data so
+    the IPC never depends on simulator classes unpickling identically.
+    With ``workers <= 1`` (or one task) the map runs in-process.
+    """
+    if workers <= 1 or len(args) <= 1:
+        return [fn(arg) for arg in args]
+    workers = min(workers, len(args))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, args))
+
+
 def _simulate_payload(args: Tuple[str, DMRConfig, GPUConfig, float, int,
                                   bool, Optional[str]]) -> dict:
     """Worker entry point: simulate one spec, return the result payload.
@@ -213,9 +230,7 @@ class SuiteRunner:
             args = [(name, dmr, config, self.scale, self.seed,
                      self.check_outputs, self.engine)
                     for name, dmr, config in (spec for _, spec in order)]
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers) as pool:
-                payloads = list(pool.map(_simulate_payload, args))
+            payloads = pool_map(_simulate_payload, args, workers)
             for (key, _), payload in zip(order, payloads):
                 self.simulations += 1
                 self._store(key, KernelResult.from_payload(payload))

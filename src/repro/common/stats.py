@@ -3,13 +3,176 @@
 The simulator accumulates large numbers of small events (per-cycle,
 per-instruction).  These classes keep that cheap and give the analysis
 layer a uniform way to merge statistics across SMs and kernels.
+
+The module also hosts the binomial confidence intervals used by sampled
+fault-injection campaigns (:mod:`repro.faults.sampler`): Wilson score
+(the default — good coverage at campaign-sized N even for proportions
+near 1, exactly where measured error coverage lives) and the exact
+Clopper–Pearson interval (conservative; never undercovers).
 """
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
+from statistics import NormalDist
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Tuple
+
+
+# ----------------------------------------------------------------------
+# Binomial confidence intervals
+# ----------------------------------------------------------------------
+def _check_binomial(successes: int, trials: int, confidence: float) -> None:
+    if trials < 0:
+        raise ValueError(f"trials must be >= 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must lie in [0, trials], got {successes}/{trials}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the normal ("Wald") approximation, the interval stays inside
+    [0, 1] and keeps near-nominal coverage for proportions close to 0
+    or 1 — measured error coverage sits near 1, so this matters.
+    ``trials == 0`` returns the vacuous interval (0, 1).
+    """
+    _check_binomial(successes, trials, confidence)
+    if trials == 0:
+        return (0.0, 1.0)
+    z = NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    n = float(trials)
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    # at the endpoints the bound is exactly 0/1 (center ± half only
+    # misses it by float rounding, which would un-bracket a measured
+    # 100% coverage)
+    low = 0.0 if successes == 0 else max(0.0, center - half)
+    high = 1.0 if successes == trials else min(1.0, center + half)
+    return (low, high)
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the regularized incomplete beta function
+    (Lentz's algorithm, as in Numerical Recipes ``betacf``)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 200):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return h
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """I_x(a, b), the CDF of a Beta(a, b) variate at *x*."""
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1], got {x}")
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    ln_front = (math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+                + a * math.log(x) + b * math.log1p(-x))
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def _beta_ppf(q: float, a: float, b: float) -> float:
+    """Quantile of Beta(a, b) by bisection on the regularized CDF.
+
+    50 bisection steps give ~1e-15 interval width, far below the
+    sampling noise of any campaign; monotonicity of the CDF makes the
+    search unconditionally convergent.
+    """
+    lo, hi = 0.0, 1.0
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if regularized_incomplete_beta(a, b, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def clopper_pearson_interval(successes: int, trials: int,
+                             confidence: float = 0.95) -> Tuple[float, float]:
+    """Exact (Clopper–Pearson) binomial interval via Beta quantiles.
+
+    Guaranteed coverage >= *confidence* for every true proportion, at
+    the cost of being conservative (wider than Wilson).  ``trials == 0``
+    returns the vacuous interval (0, 1).
+    """
+    _check_binomial(successes, trials, confidence)
+    if trials == 0:
+        return (0.0, 1.0)
+    alpha = 1.0 - confidence
+    if successes == 0:
+        low = 0.0
+    else:
+        low = _beta_ppf(alpha / 2.0, successes, trials - successes + 1)
+    if successes == trials:
+        high = 1.0
+    else:
+        high = _beta_ppf(1.0 - alpha / 2.0, successes + 1, trials - successes)
+    return (low, high)
+
+
+#: interval method registry used by campaign reporting
+BINOMIAL_INTERVALS = {
+    "wilson": wilson_interval,
+    "clopper-pearson": clopper_pearson_interval,
+}
+
+
+def binomial_interval(successes: int, trials: int,
+                      confidence: float = 0.95,
+                      method: str = "wilson") -> Tuple[float, float]:
+    """Dispatch to a named interval method (``wilson``/``clopper-pearson``)."""
+    try:
+        fn = BINOMIAL_INTERVALS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown interval method {method!r}; expected one of "
+            f"{sorted(BINOMIAL_INTERVALS)}"
+        ) from None
+    return fn(successes, trials, confidence)
 
 
 @dataclass

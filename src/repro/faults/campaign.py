@@ -9,20 +9,49 @@ one run per fault, classifying each faulty run:
 * ``MASKED`` — the fault never propagated to the output (e.g. it hit a
   lane executing a value that was later overwritten), no detection;
 * ``DETECTED_AND_CORRUPT`` — flagged *and* output corrupted (detection
-  turns this SDC into a DUE, the paper's stated goal).
+  turns this SDC into a DUE, the paper's stated goal);
+* ``HUNG`` — the fault corrupted control flow into a livelock, caught
+  by the campaign's cycle-budget watchdog (see below).
+
+Two harnesses share the classification logic:
+
+* :class:`FaultCampaign` — the in-process harness.  Takes arbitrary
+  ``make_run``/``output_of`` callables, so tests can inject into any
+  hand-built kernel; runs serially, one simulation per fault.
+* :class:`CampaignEngine` — the scaled harness.  Takes a plain-data
+  :class:`CampaignSpec` (a registry workload + configs), so every
+  ``(workload, config, fault)`` run is content-addressable in the
+  persistent :class:`~repro.analysis.result_cache.ResultCache` and the
+  misses fan out across worker processes.  A warm-cache rerun — or a
+  campaign interrupted and restarted — performs **zero** new
+  simulations.
+
+Both harnesses bound faulty runs with a *cycle-budget watchdog*: the
+budget is ``watchdog_factor x golden_cycles + watchdog_slack`` (capped
+by ``max_cycles``), mirroring how real fault-injection rigs detect
+livelock — a timeout calibrated against the fault-free runtime, not an
+absolute cap.  A faulty run that exceeds its budget raises inside the
+simulator and is classified ``HUNG``.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.config import DMRConfig, GPUConfig
+from repro.common.config import DMRConfig, GPUConfig, config_fingerprint
+from repro.common.stats import binomial_interval
 from repro.faults.injector import FaultInjector
-from repro.faults.models import Fault
-from repro.sim.gpu import GPU
+from repro.faults.models import Fault, fault_from_payload, fault_to_payload
+from repro.sim.gpu import GPU, KernelResult
 from repro.sim.memory import GlobalMemory
+
+#: default watchdog parameters (shared by both harnesses)
+DEFAULT_WATCHDOG_FACTOR = 8
+DEFAULT_WATCHDOG_SLACK = 5_000
+DEFAULT_MAX_FAULTY_CYCLES = 500_000
 
 
 class Outcome(enum.Enum):
@@ -31,7 +60,7 @@ class Outcome(enum.Enum):
     SDC = "sdc"                      # corrupted silently
     MASKED = "masked"                # no effect, no flag
     HUNG = "hung"                    # corrupted control flow livelocked
-    #                                  (caught by a watchdog in practice)
+    #                                  (caught by the cycle-budget watchdog)
 
 
 @dataclass
@@ -42,6 +71,27 @@ class FaultRun:
     outcome: Outcome
     detections: int
     activations: int
+    cycles: int = 0  # faulty-run kernel cycles (0 for legacy/HUNG runs)
+
+    def to_payload(self) -> dict:
+        """Plain-data form for worker IPC and the persistent cache."""
+        return {
+            "fault": fault_to_payload(self.fault),
+            "outcome": self.outcome.value,
+            "detections": self.detections,
+            "activations": self.activations,
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FaultRun":
+        return cls(
+            fault=fault_from_payload(payload["fault"]),
+            outcome=Outcome(payload["outcome"]),
+            detections=payload["detections"],
+            activations=payload["activations"],
+            cycles=payload.get("cycles", 0),
+        )
 
 
 @dataclass
@@ -63,23 +113,42 @@ class CampaignResult:
         return sum(1 for run in self.runs if run.activations > 0)
 
     @property
+    def harmful_runs(self) -> int:
+        """Runs whose fault mattered (neither masked nor hung)."""
+        return sum(
+            1 for run in self.runs
+            if run.outcome not in (Outcome.MASKED, Outcome.HUNG)
+        )
+
+    @property
+    def detected_runs(self) -> int:
+        return sum(
+            1 for run in self.runs
+            if run.outcome in (Outcome.DETECTED, Outcome.DETECTED_AND_CORRUPT)
+        )
+
+    @property
     def detection_rate(self) -> float:
         """Detected fraction of *non-masked* faults (coverage measure).
 
-        HUNG runs are excluded: a livelocked kernel is caught by a
+        HUNG runs are excluded: a livelocked kernel is caught by the
         watchdog, not by the computation checker being measured here.
         """
-        harmful = [
-            run for run in self.runs
-            if run.outcome not in (Outcome.MASKED, Outcome.HUNG)
-        ]
+        harmful = self.harmful_runs
         if not harmful:
             return 1.0
-        detected = sum(
-            1 for run in harmful
-            if run.outcome in (Outcome.DETECTED, Outcome.DETECTED_AND_CORRUPT)
-        )
-        return detected / len(harmful)
+        return self.detected_runs / harmful
+
+    def coverage_interval(self, confidence: float = 0.95,
+                          method: str = "wilson") -> Tuple[float, float]:
+        """Confidence interval on the detection rate.
+
+        A sampled campaign estimates a binomial proportion (detected
+        over harmful); with no harmful runs at all the interval is the
+        vacuous (0, 1).
+        """
+        return binomial_interval(self.detected_runs, self.harmful_runs,
+                                 confidence, method)
 
     @property
     def sdc_rate(self) -> float:
@@ -91,77 +160,32 @@ class CampaignResult:
         return {outcome.value: self.count(outcome) for outcome in Outcome}
 
 
-class FaultCampaign:
-    """Runs a workload repeatedly under injected faults."""
+# ----------------------------------------------------------------------
+# Shared mechanics
+# ----------------------------------------------------------------------
+def classify(detections: int, corrupt: bool) -> Outcome:
+    """The outcome lattice over (was it flagged?, is the output wrong?)."""
+    if detections and corrupt:
+        return Outcome.DETECTED_AND_CORRUPT
+    if detections:
+        return Outcome.DETECTED
+    if corrupt:
+        return Outcome.SDC
+    return Outcome.MASKED
 
-    def __init__(
-        self,
-        config: GPUConfig,
-        dmr: DMRConfig,
-        make_run: Callable[[], object],
-        output_of: Callable[[GlobalMemory], Sequence],
-        max_cycles: int = 500_000,
-    ) -> None:
-        """*make_run* builds a fresh ``WorkloadRun``-like object exposing
-        ``program``, ``launch`` and ``memory``; *output_of* extracts the
-        comparable output from a finished run's memory.  *max_cycles*
-        bounds faulty runs: an injected fault can corrupt a loop
-        predicate and livelock the kernel (classified ``HUNG``)."""
-        self.config = config
-        self.dmr = dmr
-        self.make_run = make_run
-        self.output_of = output_of
-        self.max_cycles = max_cycles
 
-    def golden_output(self) -> Sequence:
-        run = self.make_run()
-        gpu = GPU(self.config, dmr=DMRConfig.disabled())
-        gpu.launch(run.program, run.launch, memory=run.memory)
-        return self.output_of(run.memory)
+def cycle_budget(golden_cycles: int,
+                 factor: int = DEFAULT_WATCHDOG_FACTOR,
+                 slack: int = DEFAULT_WATCHDOG_SLACK,
+                 cap: int = DEFAULT_MAX_FAULTY_CYCLES) -> int:
+    """Watchdog budget for one faulty run.
 
-    def run_fault(self, fault: Fault,
-                  golden: Optional[Sequence] = None) -> FaultRun:
-        from repro.common.errors import SimulationError
-
-        if golden is None:
-            golden = self.golden_output()
-        run = self.make_run()
-        injector = FaultInjector([fault])
-        gpu = GPU(self.config, dmr=self.dmr, fault_hook=injector,
-                  max_cycles=self.max_cycles)
-        try:
-            result = gpu.launch(run.program, run.launch, memory=run.memory)
-        except SimulationError:
-            return FaultRun(
-                fault=fault,
-                outcome=Outcome.HUNG,
-                detections=0,
-                activations=injector.activations,
-            )
-        output = self.output_of(run.memory)
-        corrupt = not _outputs_equal(output, golden)
-        detected = len(result.detections) > 0
-        if detected and corrupt:
-            outcome = Outcome.DETECTED_AND_CORRUPT
-        elif detected:
-            outcome = Outcome.DETECTED
-        elif corrupt:
-            outcome = Outcome.SDC
-        else:
-            outcome = Outcome.MASKED
-        return FaultRun(
-            fault=fault,
-            outcome=outcome,
-            detections=len(result.detections),
-            activations=injector.activations,
-        )
-
-    def run(self, faults: Sequence[Fault]) -> CampaignResult:
-        golden = self.golden_output()
-        result = CampaignResult()
-        for fault in faults:
-            result.runs.append(self.run_fault(fault, golden))
-        return result
+    Proportional to the golden runtime (a fault can slow a kernel —
+    extra divergence, longer convergence loops — but not by ~an order
+    of magnitude without being livelocked), plus a fixed slack so tiny
+    kernels aren't budgeted below scheduler-warmup noise.
+    """
+    return max(1, min(cap, factor * golden_cycles + slack))
 
 
 def _outputs_equal(a: Sequence, b: Sequence) -> bool:
@@ -176,3 +200,363 @@ def _outputs_equal(a: Sequence, b: Sequence) -> bool:
         elif x != y:
             return False
     return True
+
+
+class FaultCampaign:
+    """Runs a workload repeatedly under injected faults (in-process)."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        dmr: DMRConfig,
+        make_run: Callable[[], object],
+        output_of: Callable[[GlobalMemory], Sequence],
+        max_cycles: int = DEFAULT_MAX_FAULTY_CYCLES,
+        watchdog_factor: int = DEFAULT_WATCHDOG_FACTOR,
+        watchdog_slack: int = DEFAULT_WATCHDOG_SLACK,
+        engine: Optional[str] = None,
+    ) -> None:
+        """*make_run* builds a fresh ``WorkloadRun``-like object exposing
+        ``program``, ``launch`` and ``memory``; *output_of* extracts the
+        comparable output from a finished run's memory.  Faulty runs are
+        bounded by the cycle-budget watchdog (``watchdog_factor`` x
+        golden cycles + ``watchdog_slack``, capped at ``max_cycles``):
+        an injected fault can corrupt a loop predicate and livelock the
+        kernel, which the watchdog classifies ``HUNG``."""
+        self.config = config
+        self.dmr = dmr
+        self.make_run = make_run
+        self.output_of = output_of
+        self.max_cycles = max_cycles
+        self.watchdog_factor = watchdog_factor
+        self.watchdog_slack = watchdog_slack
+        self.engine = engine
+        self._golden_result: Optional[KernelResult] = None
+
+    def golden_result(self) -> KernelResult:
+        """The fault-free run (cached): output baseline + watchdog scale."""
+        if self._golden_result is None:
+            run = self.make_run()
+            gpu = GPU(self.config, dmr=DMRConfig.disabled(),
+                      engine=self.engine)
+            self._golden_result = gpu.launch(run.program, run.launch,
+                                             memory=run.memory)
+        return self._golden_result
+
+    def golden_output(self) -> Sequence:
+        return self.output_of(self.golden_result().memory)
+
+    def cycle_budget(self) -> int:
+        """This campaign's per-run watchdog budget."""
+        return cycle_budget(self.golden_result().cycles,
+                            self.watchdog_factor, self.watchdog_slack,
+                            self.max_cycles)
+
+    def run_fault(self, fault: Fault,
+                  golden: Optional[Sequence] = None) -> FaultRun:
+        from repro.common.errors import SimulationError
+
+        if golden is None:
+            golden = self.golden_output()
+        run = self.make_run()
+        injector = FaultInjector([fault])
+        gpu = GPU(self.config, dmr=self.dmr, fault_hook=injector,
+                  max_cycles=self.cycle_budget(), engine=self.engine)
+        try:
+            result = gpu.launch(run.program, run.launch, memory=run.memory)
+        except SimulationError:
+            return FaultRun(
+                fault=fault,
+                outcome=Outcome.HUNG,
+                detections=0,
+                activations=injector.activations,
+            )
+        output = self.output_of(run.memory)
+        corrupt = not _outputs_equal(output, golden)
+        return FaultRun(
+            fault=fault,
+            outcome=classify(len(result.detections), corrupt),
+            detections=len(result.detections),
+            activations=injector.activations,
+            cycles=result.cycles,
+        )
+
+    def run(self, faults: Sequence[Fault]) -> CampaignResult:
+        golden = self.golden_output()
+        result = CampaignResult()
+        for fault in faults:
+            result.runs.append(self.run_fault(fault, golden))
+        return result
+
+
+# ----------------------------------------------------------------------
+# Scaled campaigns: plain-data specs, worker fan-out, persistent cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that determines one campaign's faulty runs.
+
+    Plain data (registry workload name + frozen configs), so a spec
+    pickles into worker processes and fingerprints into cache keys.
+    ``engine`` pins the faulty runs' execution engine ("scalar" /
+    "auto"; ``None`` = the GPU default).  Like the suite runner's cache,
+    the fault-run cache key deliberately excludes it: the engines are
+    bit-identical by contract (enforced by the engine-differential
+    tests), so their classifications are interchangeable.  The watchdog
+    parameters *are* keyed — they decide what counts as ``HUNG``.
+    """
+
+    workload: str
+    config: GPUConfig
+    dmr: DMRConfig
+    scale: float = 0.5
+    seed: int = 0
+    engine: Optional[str] = None
+    watchdog_factor: int = DEFAULT_WATCHDOG_FACTOR
+    watchdog_slack: int = DEFAULT_WATCHDOG_SLACK
+    max_cycles: int = DEFAULT_MAX_FAULTY_CYCLES
+
+    def prepare(self):
+        """A fresh :class:`~repro.workloads.base.WorkloadRun` instance."""
+        from repro.workloads import get_workload
+        return get_workload(self.workload).prepare(self.scale, self.seed)
+
+
+def fault_run_key(spec: CampaignSpec, fault: Fault) -> str:
+    """Content address of one ``(workload, config, fault)`` run.
+
+    Covers every input of the faulty simulation — workload identity,
+    both configs, scale/seed, the watchdog envelope and the fault
+    itself — plus the code-version salt, so stale code never serves a
+    classification.  The engine is excluded by the bit-identity
+    contract (see :class:`CampaignSpec`).
+    """
+    from repro.analysis.result_cache import code_version_salt
+
+    material = config_fingerprint({
+        "kind": "fault-run",
+        "workload": spec.workload,
+        "gpu": spec.config,
+        "dmr": spec.dmr,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "watchdog_factor": spec.watchdog_factor,
+        "watchdog_slack": spec.watchdog_slack,
+        "max_cycles": spec.max_cycles,
+        "fault": fault_to_payload(fault),
+        "salt": code_version_salt(),
+    })
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def run_single_fault(spec: CampaignSpec, fault: Fault,
+                     golden: Sequence, budget: int) -> FaultRun:
+    """Simulate and classify one faulty run of *spec* (pure function)."""
+    from repro.common.errors import SimulationError
+
+    run = spec.prepare()
+    injector = FaultInjector([fault])
+    gpu = GPU(spec.config, dmr=spec.dmr, fault_hook=injector,
+              max_cycles=budget, engine=spec.engine)
+    try:
+        result = gpu.launch(run.program, run.launch, memory=run.memory)
+    except SimulationError:
+        return FaultRun(
+            fault=fault,
+            outcome=Outcome.HUNG,
+            detections=0,
+            activations=injector.activations,
+        )
+    output = run.output_of(run.memory)
+    corrupt = not _outputs_equal(output, golden)
+    return FaultRun(
+        fault=fault,
+        outcome=classify(len(result.detections), corrupt),
+        detections=len(result.detections),
+        activations=injector.activations,
+        cycles=result.cycles,
+    )
+
+
+def _campaign_worker(args: Tuple[CampaignSpec, List[Fault], Sequence,
+                                 int]) -> List[dict]:
+    """Worker entry point: classify a chunk of faults, return payloads.
+
+    Module-level so it pickles under any multiprocessing start method;
+    chunks amortize process/IPC overhead over many sub-second runs.
+    """
+    spec, faults, golden, budget = args
+    return [run_single_fault(spec, fault, golden, budget).to_payload()
+            for fault in faults]
+
+
+def _chunked(items: List, chunks: int) -> List[List]:
+    """Split *items* into at most *chunks* contiguous, balanced chunks."""
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out, start = [], 0
+    for index in range(chunks):
+        end = start + size + (1 if index < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+class CampaignEngine:
+    """Scaled fault-injection campaigns: parallel, cached, resumable.
+
+    The golden run is fetched through the same content-addressed
+    :class:`~repro.analysis.result_cache.ResultCache` the suite runner
+    uses (so a figure regeneration and a campaign share baselines), and
+    every fault-run classification is cached under
+    :func:`fault_run_key` — rerunning a finished campaign, or resuming
+    an interrupted one, re-simulates only the missing faults.
+
+    ``cache`` selects the persistent layer exactly like
+    :class:`~repro.analysis.runner.SuiteRunner`: ``None``/``False``
+    in-memory only, ``True`` the default directory, a path, or a ready
+    :class:`ResultCache`.  ``jobs`` is the default fan-out for
+    :meth:`run`.
+    """
+
+    def __init__(self, spec: CampaignSpec,
+                 cache=None, jobs: int = 1) -> None:
+        from repro.analysis.result_cache import ResultCache
+
+        self.spec = spec
+        self.jobs = max(1, jobs)
+        if isinstance(cache, ResultCache):
+            self.persistent_cache: Optional[ResultCache] = cache
+        elif cache is True:
+            self.persistent_cache = ResultCache()
+        elif cache:
+            self.persistent_cache = ResultCache(cache)
+        else:
+            self.persistent_cache = None
+        self._runs: Dict[str, FaultRun] = {}
+        self._golden: Optional[KernelResult] = None
+        self.simulations = 0  # fault runs actually executed anywhere
+
+    # ------------------------------------------------------------------
+    def _golden_key(self) -> str:
+        from repro.analysis.result_cache import result_key
+
+        spec = self.spec
+        return result_key(spec.workload, DMRConfig.disabled(), spec.config,
+                          spec.scale, spec.seed, False)
+
+    def golden_result(self) -> KernelResult:
+        """The fault-free baseline run (computed at most once, ever)."""
+        if self._golden is not None:
+            return self._golden
+        key = self._golden_key()
+        if self.persistent_cache is not None:
+            cached = self.persistent_cache.get(key)
+            if cached is not None:
+                self._golden = cached
+                return cached
+        spec = self.spec
+        run = spec.prepare()
+        gpu = GPU(spec.config, dmr=DMRConfig.disabled(), engine=spec.engine)
+        result = gpu.launch(run.program, run.launch, memory=run.memory)
+        if self.persistent_cache is not None:
+            self.persistent_cache.put(key, result)
+        self._golden = result
+        return result
+
+    def golden_output(self) -> Sequence:
+        return self.spec.prepare().output_of(self.golden_result().memory)
+
+    def cycle_budget(self) -> int:
+        """Per-run watchdog budget derived from the golden runtime."""
+        spec = self.spec
+        return cycle_budget(self.golden_result().cycles,
+                            spec.watchdog_factor, spec.watchdog_slack,
+                            spec.max_cycles)
+
+    # ------------------------------------------------------------------
+    def _lookup(self, key: str) -> Optional[FaultRun]:
+        if key in self._runs:
+            return self._runs[key]
+        if self.persistent_cache is not None:
+            payload = self.persistent_cache.get_payload(key)
+            if payload is not None:
+                try:
+                    run = FaultRun.from_payload(payload)
+                except (KeyError, TypeError, ValueError):
+                    return None  # foreign/stale payload: treat as miss
+                self._runs[key] = run
+                return run
+        return None
+
+    def _store(self, key: str, run: FaultRun) -> None:
+        self._runs[key] = run
+        self.simulations += 1
+        if self.persistent_cache is not None:
+            self.persistent_cache.put_payload(key, run.to_payload())
+
+    # ------------------------------------------------------------------
+    def run_fault(self, fault: Fault) -> FaultRun:
+        """Classify one fault (through the cache)."""
+        key = fault_run_key(self.spec, fault)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        run = run_single_fault(self.spec, fault, self.golden_output(),
+                               self.cycle_budget())
+        self._store(key, run)
+        return run
+
+    def run(self, faults: Sequence[Fault], *,
+            parallel: Optional[int] = None) -> CampaignResult:
+        """Classify every fault, fanning cache misses out to workers.
+
+        Duplicate faults simulate once; results come back in fault
+        order.  With ``parallel`` (or ``self.jobs``) > 1 the misses are
+        chunked across a process pool — each chunk re-derives nothing
+        (spec, golden output and watchdog budget ride along), so
+        workers are pure classify loops.
+        """
+        from repro.analysis.runner import pool_map
+
+        keys = [fault_run_key(self.spec, fault) for fault in faults]
+        missing: Dict[str, Fault] = {}
+        for key, fault in zip(keys, faults):
+            if key not in missing and self._lookup(key) is None:
+                missing[key] = fault
+
+        workers = self.jobs if parallel is None else max(1, parallel)
+        workers = min(workers, len(missing)) if missing else 0
+        if missing:
+            golden = self.golden_output()
+            budget = self.cycle_budget()
+        if workers > 1:
+            order = list(missing.items())
+            # ~4 chunks per worker: big enough to amortize fork/IPC,
+            # small enough that one slow (e.g. HUNG) chunk can't idle
+            # the pool tail
+            chunks = _chunked(order, workers * 4)
+            args = [(self.spec, [fault for _, fault in chunk], golden,
+                     budget) for chunk in chunks]
+            for chunk, payloads in zip(
+                    chunks, pool_map(_campaign_worker, args, workers)):
+                for (key, _), payload in zip(chunk, payloads):
+                    self._store(key, FaultRun.from_payload(payload))
+        else:
+            for key, fault in missing.items():
+                self._store(key, run_single_fault(self.spec, fault, golden,
+                                                  budget))
+
+        return CampaignResult(runs=[self._runs[key] for key in keys])
+
+    # ------------------------------------------------------------------
+    def cache_summary(self) -> str:
+        """One-line accounting, printed to stderr by the CLI."""
+        parts = [f"simulations={self.simulations}",
+                 f"memory-entries={len(self._runs)}"]
+        if self.persistent_cache is not None:
+            pc = self.persistent_cache
+            parts.append(f"disk-hits={pc.hits}")
+            parts.append(f"disk-stores={pc.stores}")
+            parts.append(f"dir={pc.cache_dir}")
+        return "campaign-cache: " + " ".join(parts)

@@ -42,6 +42,27 @@ class FaultInjector(FaultHook):
             value = perturbed
         return value
 
+    def may_perturb(self, sm_id: int, cycle: int) -> bool:
+        """Whether any fault could fire on *sm_id* at *cycle*.
+
+        Drives the executor's windowed engine selection: a stuck-at
+        fault on the SM is live forever, while a transient is live only
+        from its strike cycle until its one shot is consumed.  Outside
+        that window the injector provably leaves every value untouched,
+        so the vectorized fast path (which skips the hook entirely) is
+        semantics-preserving — transient campaigns run vectorized
+        before the strike and again after the flip has been absorbed.
+        """
+        for index, fault in enumerate(self.faults):
+            if fault.sm_id != sm_id:
+                continue
+            if isinstance(fault, TransientFault):
+                if index not in self._fired and fault.is_armed(cycle):
+                    return True
+            else:
+                return True
+        return False
+
     def reset(self) -> None:
         """Re-arm transients and clear counters (for campaign reuse)."""
         self.activations = 0

@@ -122,3 +122,50 @@ class TransientFault(Fault):
 
     def is_armed(self, cycle: int) -> bool:
         return cycle >= self.cycle
+
+
+# ----------------------------------------------------------------------
+# Plain-data serialization (campaign caching, worker IPC, golden corpora)
+# ----------------------------------------------------------------------
+def fault_to_payload(fault: Fault) -> dict:
+    """Canonical plain-data form of a fault.
+
+    JSON-able and stable: the campaign result cache fingerprints this
+    payload, and the golden-outcome corpus stores it verbatim, so field
+    names and value renderings here are part of the cache/corpus schema.
+    """
+    payload = {
+        "sm_id": fault.sm_id,
+        "hw_lane": fault.hw_lane,
+        "unit": fault.unit.value if fault.unit is not None else None,
+    }
+    if isinstance(fault, StuckAtFault):
+        payload["kind"] = "stuck_at"
+        payload["bit"] = fault.bit
+        payload["stuck_to"] = fault.stuck_to
+    elif isinstance(fault, TransientFault):
+        payload["kind"] = "transient"
+        payload["bit"] = fault.bit
+        payload["cycle"] = fault.cycle
+    else:
+        raise FaultInjectionError(
+            f"cannot serialize fault of type {type(fault).__name__}"
+        )
+    return payload
+
+
+def fault_from_payload(payload: dict) -> Fault:
+    """Inverse of :func:`fault_to_payload`."""
+    unit = UnitType(payload["unit"]) if payload["unit"] is not None else None
+    kind = payload["kind"]
+    if kind == "stuck_at":
+        return StuckAtFault(
+            sm_id=payload["sm_id"], hw_lane=payload["hw_lane"], unit=unit,
+            bit=payload["bit"], stuck_to=payload["stuck_to"],
+        )
+    if kind == "transient":
+        return TransientFault(
+            sm_id=payload["sm_id"], hw_lane=payload["hw_lane"], unit=unit,
+            bit=payload["bit"], cycle=payload["cycle"],
+        )
+    raise FaultInjectionError(f"unknown fault kind {kind!r}")

@@ -1,0 +1,139 @@
+"""Statistical fault sampling for scaled campaigns.
+
+Exhaustive transient-fault injection is intractable even in this
+reduced model: every (unit, lane, strike cycle, bit) combination is a
+distinct fault, giving millions of candidate runs per workload.  Real
+fault-injection studies (and the paper's own coverage claims) therefore
+*sample* the fault space and report a confidence interval.
+
+:class:`FaultSampler` draws stratified samples over the product
+``unit type x hardware lane x cycle window``:
+
+* **unit type** — SP / SFU / LDST faults exercise different verifier
+  paths (intra-warp RFU forwarding vs inter-warp ReplayQ);
+* **lane** — coverage depends on which SIMT cluster the fault lands in
+  (the whole point of Figure 9(a)'s mapping comparison);
+* **cycle window** — early faults see warm-up masks, late faults see
+  drained warps; uniform-over-cycles sampling would still land ~all
+  samples in the bulk and leave the tails unmeasured.
+
+Stratification guarantees every cell is represented (largest-remainder
+allocation, so counts always sum to the requested N) while the within-
+stratum draws stay uniform, keeping the detection-rate estimator a
+plain binomial proportion — which is what the Wilson/Clopper–Pearson
+intervals in :mod:`repro.common.stats` assume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.config import GPUConfig
+from repro.common.errors import ConfigError
+from repro.faults.models import TransientFault
+from repro.isa.opcodes import UnitType
+
+#: sampled bit positions: the full 32-bit output pattern
+WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One cell of the (unit x lane x cycle-window) product."""
+
+    unit: UnitType
+    hw_lane: int
+    window_start: int
+    window_end: int  # exclusive
+
+    def draw(self, rng: random.Random, sm_id: int) -> TransientFault:
+        """One uniform transient fault inside this cell."""
+        return TransientFault(
+            sm_id=sm_id,
+            hw_lane=self.hw_lane,
+            unit=self.unit,
+            bit=rng.randrange(WORD_BITS),
+            cycle=rng.randrange(self.window_start, self.window_end),
+        )
+
+
+def allocate(n: int, cells: int) -> List[int]:
+    """Largest-remainder allocation of *n* samples over *cells* strata.
+
+    Equal stratum weights; the remainder after the integer split goes
+    to the earliest strata in order.  The counts always sum to exactly
+    *n* — the property the sampler's estimator depends on.
+    """
+    if cells <= 0:
+        raise ConfigError(f"cells must be positive, got {cells}")
+    if n < 0:
+        raise ConfigError(f"n must be >= 0, got {n}")
+    base, extra = divmod(n, cells)
+    return [base + (1 if index < extra else 0) for index in range(cells)]
+
+
+class FaultSampler:
+    """Draws stratified transient-fault samples for one chip config.
+
+    ``units``/``lanes`` default to every execution-unit type and every
+    hardware lane of a warp; ``windows`` is the number of equal cycle
+    windows the campaign horizon is split into.  ``sm_id`` pins faults
+    to one SM — campaigns measure per-SM detection, and every SM is
+    identical hardware.
+    """
+
+    def __init__(self, config: GPUConfig,
+                 units: Optional[Sequence[UnitType]] = None,
+                 lanes: Optional[Sequence[int]] = None,
+                 windows: int = 4, sm_id: int = 0) -> None:
+        if windows <= 0:
+            raise ConfigError(f"windows must be positive, got {windows}")
+        self.config = config
+        self.units = tuple(units) if units else tuple(UnitType)
+        self.lanes = tuple(lanes) if lanes else tuple(range(config.warp_size))
+        if not self.units or not self.lanes:
+            raise ConfigError("sampler needs at least one unit and one lane")
+        for lane in self.lanes:
+            if not 0 <= lane < config.warp_size:
+                raise ConfigError(
+                    f"lane {lane} outside warp of {config.warp_size}"
+                )
+        self.windows = windows
+        self.sm_id = sm_id
+
+    # ------------------------------------------------------------------
+    def cycle_windows(self, horizon: int) -> List[Tuple[int, int]]:
+        """Split ``[0, horizon)`` into the configured cycle windows."""
+        if horizon <= 0:
+            raise ConfigError(f"horizon must be positive, got {horizon}")
+        count = min(self.windows, horizon)
+        bounds = [round(index * horizon / count) for index in range(count + 1)]
+        return [(bounds[i], bounds[i + 1]) for i in range(count)]
+
+    def strata(self, horizon: int) -> List[Stratum]:
+        """Every (unit, lane, window) cell, in deterministic order."""
+        return [
+            Stratum(unit, lane, start, end)
+            for unit in self.units
+            for lane in self.lanes
+            for start, end in self.cycle_windows(horizon)
+        ]
+
+    def sample(self, n: int, horizon: int,
+               seed: int = 0) -> List[TransientFault]:
+        """*n* stratified transient faults over a *horizon*-cycle run.
+
+        Deterministic in (sampler config, n, horizon, seed), so a
+        resumed campaign regenerates the identical fault list and its
+        cached classifications all hit.
+        """
+        cells = self.strata(horizon)
+        counts = allocate(n, len(cells))
+        rng = random.Random(seed)
+        faults: List[TransientFault] = []
+        for stratum, count in zip(cells, counts):
+            faults.extend(stratum.draw(rng, self.sm_id)
+                          for _ in range(count))
+        return faults

@@ -193,6 +193,19 @@ class FaultHook:
               cycle: int, value: object) -> object:
         return value
 
+    def may_perturb(self, sm_id: int, cycle: int) -> bool:
+        """Whether any fault could perturb a computation on *sm_id* now.
+
+        The executor's ``auto`` engine consults this per issue: while a
+        hook reports ``False`` the lane-vectorized fast path (which
+        never calls :meth:`apply`) is safe, because skipping the hook
+        provably cannot change the computation.  The conservative
+        default keeps every issue on the lane-serial scalar path, whose
+        per-lane :meth:`apply` order is part of the fault-model
+        contract.
+        """
+        return True
+
 
 @dataclass
 class ControlOutcome:
@@ -217,10 +230,15 @@ class Executor:
 
     ``engine`` selects the execution strategy: ``"auto"`` (default)
     runs the vectorized engine whenever it can reproduce scalar
-    semantics bit-for-bit and no fault hook is armed, ``"scalar"`` pins
-    every issue to the per-lane interpreter.  An armed fault hook
-    always forces the scalar path — faults are injected per lane, and
-    the lane-serial order is part of the fault model's contract.
+    semantics bit-for-bit, ``"scalar"`` pins every issue to the
+    per-lane interpreter.  With a fault hook armed, each issue first
+    asks the hook whether any fault could perturb this SM at the
+    current cycle (:meth:`FaultHook.may_perturb`): only those issues —
+    the fault's activation window — run the lane-serial scalar path,
+    whose per-lane hook-application order is part of the fault model's
+    contract.  Outside the window the hook provably cannot fire, so the
+    vector engine (bit-identical by contract) is safe; this is what
+    makes large transient-fault campaigns run near fault-free speed.
     """
 
     def __init__(self, sm_id: int, global_memory: GlobalMemory,
@@ -235,7 +253,8 @@ class Executor:
         self.global_memory = global_memory
         self.fault_hook = fault_hook or FaultHook()
         self.engine = engine
-        self._vector_enabled = engine == "auto" and fault_hook is None
+        self._faulty = fault_hook is not None
+        self._vector_enabled = engine == "auto"
         self._decoded: Optional[list] = None
         self._adhoc: Dict[Instruction, vexec.DecodedInst] = {}
         #: issue counts per engine (diagnostics; not part of StatSet so
@@ -281,9 +300,11 @@ class Executor:
         return vexec.pack_mask(bits & holds)
 
     def _decoded_entry(self, warp: Warp, inst: Instruction,
-                       pc: int) -> Optional[vexec.DecodedInst]:
+                       pc: int, cycle: int) -> Optional[vexec.DecodedInst]:
         """Decode-cache lookup, or ``None`` if the issue must go scalar."""
         if not self._vector_enabled or warp.reg_overflow:
+            return None
+        if self._faulty and self.fault_hook.may_perturb(self.sm_id, cycle):
             return None
         decoded = self._decoded
         if (decoded is not None and pc < len(decoded)
@@ -346,7 +367,7 @@ class Executor:
             control.target = int(inst.target)
             return ExecResult(event, control)
 
-        entry = self._decoded_entry(warp, inst, pc)
+        entry = self._decoded_entry(warp, inst, pc, cycle)
         if entry is not None:
             try:
                 vexec.execute_vector(self, warp, entry, event, exec_mask,

@@ -554,10 +554,14 @@ def execute_vector(executor, warp, entry: DecodedInst, event: IssueEvent,
 
     if kind == _KIND_ALU:
         result = _normalize(entry.fn(vals, n), n)
-        if entry.dest is not None:
-            _write_back(warp, sel, entry.dest, result)
+        # fill before write-back: _gather returns register-file *views*,
+        # so writing the dest first would corrupt recorded inputs when a
+        # source aliases the destination (functional verify re-executes
+        # from these inputs)
         _fill_event(event, hw_lanes, [_py(v, n) for v in vals],
                     _py(result, n))
+        if entry.dest is not None:
+            _write_back(warp, sel, entry.dest, result)
         return
 
     if kind == _KIND_SETP:
@@ -570,10 +574,10 @@ def execute_vector(executor, warp, entry: DecodedInst, event: IssueEvent,
     if kind == _KIND_SELP:
         pred = _to_lanes(warp.preds[sel, entry.psrc], n)
         result = _normalize(_h_selp(vals, n, pred), n)
-        if entry.dest is not None:
-            _write_back(warp, sel, entry.dest, result)
         cols = [_py(v, n) for v in vals] + [pred.tolist()]
         _fill_event(event, hw_lanes, cols, _py(result, n))
+        if entry.dest is not None:
+            _write_back(warp, sel, entry.dest, result)
         return
 
     # memory: vectorized effective addresses, per-lane word access

@@ -1,0 +1,100 @@
+"""Golden fault-outcome corpus: generation and shared plumbing.
+
+``golden_outcomes.json`` pins the exact classification of ~50 seeded
+faults across three workloads.  The replay test
+(:mod:`tests.faults.test_golden_corpus`) re-simulates every entry and
+compares outcome, detection count and activation count — any drift in
+the simulator, the DMR verifiers, the fault models or the watchdog
+shows up as a diff against numbers that were reviewed when checked in.
+
+Regenerate (after an *intentional* semantic change) with::
+
+    PYTHONPATH=src python -m tests.faults.golden_corpus
+
+and review the JSON diff like source.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.common.config import DMRConfig, GPUConfig
+from repro.faults.campaign import CampaignEngine, CampaignSpec
+from repro.faults.models import StuckAtFault, fault_from_payload, \
+    fault_to_payload
+from repro.faults.sampler import FaultSampler
+from repro.isa.opcodes import UnitType
+
+CORPUS_PATH = pathlib.Path(__file__).with_name("golden_outcomes.json")
+
+#: corpus shape: 14 stratified transients + 3 stuck-ats per workload
+WORKLOADS = ("scan", "matrixmul", "laplace")
+TRANSIENTS_PER_WORKLOAD = 14
+CORPUS_SEED = 2012  # the paper's year; arbitrary but fixed
+
+STUCK_ATS = (
+    StuckAtFault(sm_id=0, hw_lane=2, unit=UnitType.SP, bit=3, stuck_to=1),
+    StuckAtFault(sm_id=0, hw_lane=7, unit=UnitType.LDST, bit=1, stuck_to=0),
+    StuckAtFault(sm_id=0, hw_lane=13, unit=UnitType.SFU, bit=5, stuck_to=1),
+    # bit 0 stuck-to-1 corrupts loop predicates: the watchdog/HUNG path
+    StuckAtFault(sm_id=0, hw_lane=0, unit=UnitType.SP, bit=0, stuck_to=1),
+)
+
+
+def corpus_spec(workload: str) -> CampaignSpec:
+    return CampaignSpec(workload=workload, config=GPUConfig.small(1),
+                        dmr=DMRConfig.paper_default(), scale=0.25, seed=0)
+
+
+def corpus_faults(engine: CampaignEngine) -> list:
+    horizon = engine.golden_result().cycles
+    sampler = FaultSampler(engine.spec.config, windows=2)
+    return (sampler.sample(TRANSIENTS_PER_WORKLOAD, horizon,
+                           seed=CORPUS_SEED)
+            + list(STUCK_ATS))
+
+
+def generate() -> dict:
+    """Classify the whole corpus; returns the JSON payload."""
+    entries = []
+    for workload in WORKLOADS:
+        engine = CampaignEngine(corpus_spec(workload))
+        for run in engine.run(corpus_faults(engine)).runs:
+            entries.append({
+                "workload": workload,
+                "fault": fault_to_payload(run.fault),
+                "outcome": run.outcome.value,
+                "detections": run.detections,
+                "activations": run.activations,
+            })
+    return {
+        "description": ("Exact fault classifications under "
+                        "GPUConfig.small(1) + DMRConfig.paper_default(), "
+                        "scale 0.25, seed 0; regenerate with "
+                        "python -m tests.faults.golden_corpus"),
+        "schema": 1,
+        "sampler_seed": CORPUS_SEED,
+        "entries": entries,
+    }
+
+
+def load() -> dict:
+    with open(CORPUS_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def entry_fault(entry: dict):
+    return fault_from_payload(entry["fault"])
+
+
+def main() -> None:
+    payload = generate()
+    with open(CORPUS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {CORPUS_PATH} ({len(payload['entries'])} entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Replay the checked-in fault corpus and demand exact agreement.
+
+Each corpus entry is one ``(workload, fault)`` classification that was
+reviewed when ``golden_outcomes.json`` was committed.  The replay runs
+the same spec through :class:`CampaignEngine` (no cache — the point is
+to re-simulate) and compares exactly: outcome, detection count,
+activation count.  Silent shifts in verifier pairing, fault arming, the
+windowed engine split or outcome classification all fail here first.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.faults.campaign import CampaignEngine, Outcome
+
+from tests.faults import golden_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus() -> dict:
+    return golden_corpus.load()
+
+
+@pytest.fixture(scope="module")
+def replayed(corpus):
+    """workload -> list of FaultRun, replayed in corpus order."""
+    by_workload = collections.defaultdict(list)
+    for entry in corpus["entries"]:
+        by_workload[entry["workload"]].append(golden_corpus.entry_fault(entry))
+    runs = {}
+    for workload, faults in by_workload.items():
+        engine = CampaignEngine(golden_corpus.corpus_spec(workload))
+        runs[workload] = engine.run(faults).runs
+    return runs
+
+
+def test_corpus_is_fresh(corpus):
+    """The checked-in faults are the ones the generator would draw
+    today — a drifted sampler would silently shrink replay coverage."""
+    for workload in golden_corpus.WORKLOADS:
+        engine = CampaignEngine(golden_corpus.corpus_spec(workload))
+        expected = [golden_corpus.entry_fault(e) for e in corpus["entries"]
+                    if e["workload"] == workload]
+        assert golden_corpus.corpus_faults(engine) == expected
+
+
+def test_corpus_shape(corpus):
+    entries = corpus["entries"]
+    assert len(entries) == len(golden_corpus.WORKLOADS) * (
+        golden_corpus.TRANSIENTS_PER_WORKLOAD + len(golden_corpus.STUCK_ATS)
+    )
+    per_workload = collections.Counter(e["workload"] for e in entries)
+    assert set(per_workload) == set(golden_corpus.WORKLOADS)
+
+
+def test_corpus_exercises_the_outcome_lattice(corpus):
+    """A corpus that only ever hits one outcome pins nothing down."""
+    outcomes = {e["outcome"] for e in corpus["entries"]}
+    assert {"detected", "masked"} <= outcomes
+    assert outcomes <= {o.value for o in Outcome}
+
+
+def test_replay_matches_corpus_exactly(corpus, replayed):
+    cursors = collections.defaultdict(int)
+    mismatches = []
+    for entry in corpus["entries"]:
+        workload = entry["workload"]
+        run = replayed[workload][cursors[workload]]
+        cursors[workload] += 1
+        got = {"workload": workload,
+               "fault": entry["fault"],
+               "outcome": run.outcome.value,
+               "detections": run.detections,
+               "activations": run.activations}
+        want = {key: entry[key]
+                for key in ("workload", "fault", "outcome", "detections",
+                            "activations")}
+        if got != want:
+            mismatches.append((want, got))
+    assert not mismatches, (
+        f"{len(mismatches)} corpus entries drifted; first: "
+        f"expected {mismatches[0][0]} got {mismatches[0][1]}. If the "
+        "semantic change is intentional, regenerate with "
+        "python -m tests.faults.golden_corpus and review the diff."
+    )
