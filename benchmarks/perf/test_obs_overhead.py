@@ -1,0 +1,174 @@
+"""Perf gate: the metrics-disabled path must cost (almost) nothing.
+
+Not collected by the default pytest run (``testpaths`` excludes
+``benchmarks/``); CI's perf job runs ``benchmarks/perf/`` explicitly,
+so ``test_exec_throughput.py`` regenerates ``BENCH_exec.json`` on the
+same runner moments before this file compares against it.
+
+The observability design promise is that *disabled* observability is
+free: no probe objects exist, the hot loops check one attribute against
+``None``, and the default ``GPU()`` resolves to obs-off.  The gates
+here defend that promise:
+
+* explicit ``obs=False`` and the default ``GPU()`` (which consults
+  ``$REPRO_OBS``) must time within 2% of each other — this is the
+  regression class the subsystem introduces (an env leak or a default
+  flip silently turning metrics on for every user);
+* the disabled path must stay within 2% of the ``BENCH_exec.json``
+  baseline throughput when that baseline was measured on this machine
+  (skipped with an explanation when it clearly was not);
+* metrics-*enabled* overhead is measured and bounded loosely (it buys
+  per-cycle gauges and DMR attribution; it is allowed to cost, just
+  not silently explode), and everything is written to
+  ``BENCH_obs.json`` for trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis.bench import _MICROBENCHES
+from repro.common.config import LaunchConfig
+from repro.sim.gpu import GPU
+
+#: disabled-path tolerance (the acceptance criterion)
+DISABLED_TOLERANCE = 0.02
+
+#: enabled metrics may cost, but a silent blowup should fail the gate
+MAX_METRICS_OVERHEAD = 0.60
+
+#: baseline files measured on a different machine are skipped, not failed
+FOREIGN_MACHINE_BAND = 0.30
+
+REPEATS = 7
+ITERS = 120
+
+#: baselines older than this were not written by this perf session
+BASELINE_MAX_AGE_S = 3600
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[1] / "results"
+
+#: the timed configurations; trials interleave them round-robin so
+#: machine drift (thermal, noisy neighbors) hits every config equally
+CONFIGS = {
+    "off": {"obs": False},
+    "default": {},            # GPU() -> $REPRO_OBS -> off
+    "metrics": {"obs": "metrics"},
+}
+
+
+def _interleaved_min_times(program, launch, repeats: int = REPEATS):
+    """Min-of-N wall time per config, trials interleaved round-robin."""
+    best = {key: float("inf") for key in CONFIGS}
+    insts = 0
+    for _ in range(repeats):
+        for key, kwargs in CONFIGS.items():
+            gpu = GPU(**kwargs)
+            start = time.perf_counter()
+            result = gpu.launch(program, launch)
+            best[key] = min(best[key], time.perf_counter() - start)
+            insts = result.stats.value("thread_instructions")
+    return best, insts
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    launch = LaunchConfig(grid_dim=2, block_dim=128)
+    report = {}
+    for name, build in _MICROBENCHES.items():
+        program = build(ITERS)
+        best, insts = _interleaved_min_times(program, launch)
+        report[name] = {
+            "thread_instructions": insts,
+            "seconds_obs_off": best["off"],
+            "seconds_default": best["default"],
+            "seconds_metrics": best["metrics"],
+            "minst_per_s_off": insts / best["off"] / 1e6,
+            "default_vs_off": best["default"] / best["off"] - 1.0,
+            "metrics_overhead": best["metrics"] / best["off"] - 1.0,
+        }
+    return report
+
+
+def test_default_gpu_matches_explicit_obs_off(measurements):
+    """Acceptance: the metrics-disabled path is within 2% of baseline.
+
+    ``GPU()`` (the path every benchmark and figure takes) must resolve
+    to the same no-probe fast path as an explicit ``obs=False`` — if an
+    environment default ever flips metrics on, the registry and probe
+    cost lands here and blows the band.
+    """
+    slow = {name: f"{entry['default_vs_off']:+.1%}"
+            for name, entry in measurements.items()
+            if entry["default_vs_off"] > DISABLED_TOLERANCE}
+    assert not slow, (
+        f"default GPU() slower than obs=False beyond "
+        f"{DISABLED_TOLERANCE:.0%}: {slow} — is observability "
+        "accidentally enabled by default?"
+    )
+
+
+def test_disabled_path_tracks_exec_baseline(measurements):
+    """Within 2% of the BENCH_exec.json throughput on the same machine."""
+    baseline_path = RESULTS_DIR / "BENCH_exec.json"
+    if not baseline_path.exists():
+        pytest.skip("no BENCH_exec.json baseline (run test_exec_throughput)")
+    age = time.time() - baseline_path.stat().st_mtime
+    if age > BASELINE_MAX_AGE_S:
+        pytest.skip(
+            f"BENCH_exec.json is {age / 3600:.1f}h old — not produced by "
+            "this perf session; run benchmarks/perf/ together so "
+            "test_exec_throughput regenerates it on this machine"
+        )
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    throughput = baseline.get("throughput", {})
+
+    for name, entry in measurements.items():
+        recorded = throughput.get(name, {}).get("auto", {}).get("minst_per_s")
+        if not recorded:
+            continue
+        current = entry["minst_per_s_off"]
+        drift = abs(current / recorded - 1.0)
+        if drift > FOREIGN_MACHINE_BAND:
+            pytest.skip(
+                f"BENCH_exec.json was measured on different hardware "
+                f"({name}: {recorded:.2f} vs {current:.2f} Minst/s)"
+            )
+        assert current >= recorded * (1.0 - DISABLED_TOLERANCE), (
+            f"{name}: obs-off throughput {current:.2f} Minst/s fell "
+            f">{DISABLED_TOLERANCE:.0%} below the exec baseline "
+            f"{recorded:.2f}"
+        )
+
+
+def test_metrics_overhead_bounded(measurements):
+    hot = {name: f"{entry['metrics_overhead']:+.1%}"
+           for name, entry in measurements.items()
+           if entry["metrics_overhead"] > MAX_METRICS_OVERHEAD}
+    assert not hot, (
+        f"metrics-enabled overhead beyond {MAX_METRICS_OVERHEAD:.0%}: "
+        f"{hot} — did a per-cycle probe hook grow a hidden cost?"
+    )
+
+
+def test_emit_bench_json(measurements):
+    """Produce the machine-readable artifact CI archives."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "obs-overhead",
+        "repeats": REPEATS,
+        "iters": ITERS,
+        "tolerance_disabled": DISABLED_TOLERANCE,
+        "kernels": measurements,
+    }
+    path = RESULTS_DIR / "BENCH_obs.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    loaded = json.loads(path.read_text(encoding="utf-8"))
+    assert loaded["benchmark"] == "obs-overhead"
+    assert set(loaded["kernels"]) == set(_MICROBENCHES)

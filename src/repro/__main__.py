@@ -21,6 +21,14 @@ Commands
     resumed campaign performs zero new simulations).  Writes
     machine-readable ``BENCH_campaign.json`` with the outcome
     histogram, coverage confidence interval and faults/second.
+``trace WORKLOAD``
+    Simulate one workload with full observability and write a Chrome
+    ``trace_event`` JSON timeline (load in ``chrome://tracing`` or
+    Perfetto: one process track per SM, one thread track per warp).
+``metrics [WORKLOAD]``
+    Run one workload (or the whole suite) with the metrics registry on
+    and print the aggregated snapshot: counters, stall-cause
+    attribution, occupancy/queue-depth distributions.
 """
 
 from __future__ import annotations
@@ -107,6 +115,8 @@ def cmd_figure(args) -> int:
         "fig9a-sampled": (coverage_sweep.run_figure9a_sampled,
                           coverage_sweep.format_figure9a_sampled),
         "fig9b": (overhead_sweep.run_figure9b, overhead_sweep.format_figure9b),
+        "fig9b-stalls": (overhead_sweep.run_figure9b_stalls,
+                         overhead_sweep.format_figure9b_stalls),
         "fig10": (approaches.run_figure10, approaches.format_figure10),
         "fig11": (power_energy.run_figure11, power_energy.format_figure11),
     }
@@ -260,6 +270,84 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.analysis.runner import experiment_config
+    from repro.obs import ObsSession
+    from repro.workloads import ALIASES, get_workload
+
+    name = ALIASES.get(args.workload, args.workload)
+    workload = get_workload(name)
+    run = workload.prepare(scale=args.scale, seed=args.seed)
+    dmr = (DMRConfig.disabled() if args.no_dmr
+           else DMRConfig.paper_default())
+    session = ObsSession(trace=True, max_trace_events=args.max_events)
+    gpu = GPU(experiment_config(num_sms=args.sms), dmr=dmr, obs=session)
+    result = gpu.launch(run.program, run.launch, memory=run.memory)
+
+    tracer = session.tracer
+    out = args.out or f"TRACE_{name}.json"
+    tracer.write(out, other_data={
+        "workload": name,
+        "scale": args.scale,
+        "seed": args.seed,
+        "sms": args.sms,
+        "dmr": "off" if args.no_dmr else "paper_default",
+        "kernel_cycles": result.cycles,
+    })
+    print(f"workload          : {workload.display_name}")
+    print(f"kernel cycles     : {result.cycles}")
+    print(f"trace events      : {len(tracer)} "
+          f"(dropped {tracer.dropped}, cap {tracer.max_events})")
+    print(f"DMR stall cycles  : "
+          f"{result.stats.value('cycles_dmr_stall')}")
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.analysis.report import format_table
+    from repro.analysis.runner import (SuiteRunner, aggregate_metrics,
+                                       experiment_config)
+    from repro.workloads import ALIASES
+
+    runner = SuiteRunner(
+        experiment_config(num_sms=args.sms), scale=args.scale,
+        seed=args.seed, jobs=args.jobs, obs=True,
+    )
+    dmr = (DMRConfig.disabled() if args.no_dmr
+           else DMRConfig.paper_default())
+    if args.workload:
+        name = ALIASES.get(args.workload, args.workload)
+        results = {name: runner.run(name, dmr)}
+    else:
+        results = runner.run_suite(dmr, parallel=args.jobs)
+    snapshot = aggregate_metrics(results.values())
+    registry = snapshot.to_registry()
+
+    scope = args.workload or f"suite ({len(results)} workloads)"
+    print(format_table(
+        ["counter", "value"],
+        [[name, value] for name, value in registry.counters().items()],
+        title=f"Counters: {scope}",
+    ))
+    gauges = list(registry.gauges())
+    if gauges:
+        print(format_table(
+            ["gauge", "samples", "mean", "min", "max"],
+            [[g.name, g.count, f"{g.mean:.2f}", g.min, g.max]
+             for g in gauges],
+            title="Gauges (per-cycle samples)",
+        ))
+    for hist in registry.fixed_histograms():
+        print(format_table(
+            ["bucket", "cycles"],
+            [[label, count] for label, count in hist.items()],
+            title=f"Distribution: {hist.name}",
+        ))
+    print(runner.cache_summary(), file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -350,6 +438,30 @@ def build_parser() -> argparse.ArgumentParser:
                                  metavar="PATH",
                                  help="JSON output path (default "
                                       "BENCH_campaign.json)")
+
+    trace_parser = sub.add_parser(
+        "trace", help="record a Chrome-trace timeline of one workload")
+    trace_parser.add_argument("workload")
+    _add_common(trace_parser)
+    trace_parser.add_argument("--no-dmr", action="store_true",
+                              help="trace the baseline without DMR")
+    trace_parser.add_argument("--max-events", type=int, default=500_000,
+                              help="trace-event cap (default 500000; "
+                                   "overflow is counted, not silent)")
+    trace_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="trace JSON path (default "
+                                   "TRACE_<workload>.json)")
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="print the aggregated metrics snapshot")
+    metrics_parser.add_argument("workload", nargs="?", default=None,
+                                help="one workload (default: whole suite)")
+    _add_common(metrics_parser)
+    metrics_parser.add_argument("--no-dmr", action="store_true",
+                                help="measure the baseline without DMR")
+    metrics_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulate suite workloads in N worker processes (default 1)")
     return parser
 
 
@@ -362,6 +474,8 @@ def main(argv=None) -> int:
         "inject": cmd_inject,
         "bench": cmd_bench,
         "campaign": cmd_campaign,
+        "trace": cmd_trace,
+        "metrics": cmd_metrics,
     }[args.command]
     return handler(args)
 

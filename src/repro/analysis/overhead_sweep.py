@@ -51,3 +51,68 @@ def format_figure9b(data: Dict[str, Dict[int, float]]) -> str:
         title=("Figure 9(b): normalized kernel cycles vs ReplayQ size "
                "(paper averages: 1.41 / 1.32 / 1.24 / 1.16)"),
     )
+
+
+# ----------------------------------------------------------------------
+# Stall-cause attribution behind Figure 9(b)
+# ----------------------------------------------------------------------
+#: stands in for an unbounded ReplayQ (never fills at any kernel scale)
+UNBOUNDED_REPLAYQ = 10**9
+
+#: the attribution sweep: tight queue, the paper's default, no queue limit
+STALL_SIZES: List[int] = [2, 10, UNBOUNDED_REPLAYQ]
+
+#: every cause label the SM books (column order for the table)
+STALL_CAUSES: List[str] = ["raw", "replay", "bank", "flush"]
+
+
+def _size_label(size: int) -> str:
+    return "inf" if size >= UNBOUNDED_REPLAYQ else str(size)
+
+
+def run_figure9b_stalls(runner: SuiteRunner) -> Dict[str, Dict[int, Dict]]:
+    """workload -> queue size -> stall-cause attribution.
+
+    The per-cause counters (``cycles_stall_raw`` / ``replay`` / ``bank``
+    / ``flush``) partition ``cycles_dmr_stall`` exactly, so this
+    decomposes Figure 9(b)'s overhead into *why* the pipeline stalled:
+    a tight queue shifts cycles from RAW verification into eager replay
+    stalls, an unbounded queue concentrates them at the kernel-end
+    flush.
+    """
+    runner.prefetch(
+        [(name, DMRConfig.paper_default().with_replayq(size))
+         for name in all_workloads() for size in STALL_SIZES]
+    )
+    data: Dict[str, Dict[int, Dict]] = {}
+    for name in all_workloads():
+        data[name] = {}
+        for size in STALL_SIZES:
+            dmr = DMRConfig.paper_default().with_replayq(size)
+            stats = runner.run(name, dmr).stats
+            data[name][size] = {
+                "cycles": stats.value("cycles_total"),
+                "stall": stats.value("cycles_dmr_stall"),
+                "causes": {cause: stats.value(f"cycles_stall_{cause}")
+                           for cause in STALL_CAUSES},
+            }
+    return data
+
+
+def format_figure9b_stalls(data: Dict[str, Dict[int, Dict]]) -> str:
+    headers = (["workload", "q", "stall cyc", "stall %"]
+               + list(STALL_CAUSES))
+    rows = []
+    for name, by_size in data.items():
+        for size, entry in by_size.items():
+            share = (100.0 * entry["stall"] / entry["cycles"]
+                     if entry["cycles"] else 0.0)
+            rows.append(
+                [name, _size_label(size), entry["stall"], f"{share:.1f}"]
+                + [entry["causes"][cause] for cause in STALL_CAUSES]
+            )
+    return format_table(
+        headers, rows,
+        title=("Figure 9(b) stall attribution: DMR stall cycles by cause "
+               "vs ReplayQ size (causes partition the stall total exactly)"),
+    )

@@ -53,12 +53,16 @@ def default_cache_dir() -> pathlib.Path:
 
 
 def result_key(name: str, dmr: DMRConfig, config: GPUConfig,
-               scale: float, seed: int, check_outputs: bool) -> str:
+               scale: float, seed: int, check_outputs: bool,
+               obs: bool = False) -> str:
     """Stable content address of one simulation.
 
     Covers *every* run input — the fingerprints expand all config
     fields, and scale/seed/check_outputs ride alongside — so two runs
-    share a key iff they are the same simulation.
+    share a key iff they are the same simulation.  ``obs`` keys whether
+    the run carried a metrics snapshot: an obs-on result embeds the
+    snapshot payload, so it must not be served to (or shadowed by) an
+    obs-off request.
     """
     material = config_fingerprint({
         "workload": name,
@@ -67,6 +71,7 @@ def result_key(name: str, dmr: DMRConfig, config: GPUConfig,
         "scale": scale,
         "seed": seed,
         "check_outputs": check_outputs,
+        "obs": obs,
         "salt": code_version_salt(),
     })
     return hashlib.sha256(material.encode("utf-8")).hexdigest()

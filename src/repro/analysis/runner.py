@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.result_cache import ResultCache, result_key
 from repro.common.config import DMRConfig, GPUConfig
+from repro.obs import MetricSnapshot, aggregate_payloads
 from repro.sim.gpu import GPU, KernelResult
 from repro.workloads import all_workloads, get_workload
 
@@ -83,22 +84,38 @@ def pool_map(fn, args: Sequence, workers: int) -> List:
 
 
 def _simulate_payload(args: Tuple[str, DMRConfig, GPUConfig, float, int,
-                                  bool, Optional[str]]) -> dict:
+                                  bool, Optional[str], bool]) -> dict:
     """Worker entry point: simulate one spec, return the result payload.
 
     Module-level so it pickles under any multiprocessing start method;
     returns plain data (not a KernelResult) so the transfer does not
     depend on simulator classes unpickling identically in the parent.
+    The obs flag (8th element) turns on the metrics registry; the
+    snapshot travels back inside the payload's ``obs`` key, which is how
+    parallel workers ship metrics to the parent for aggregation.
     """
     name, dmr, config, scale, seed, check_outputs, *rest = args
     engine = rest[0] if rest else None  # 6-tuples predate the engine knob
+    obs = rest[1] if len(rest) > 1 else False  # 7-tuples predate obs
     workload = get_workload(name)
     run = workload.prepare(scale, seed)
-    gpu = GPU(config, dmr=dmr, engine=engine)
+    gpu = GPU(config, dmr=dmr, engine=engine,
+              obs=("metrics" if obs else False))
     result = gpu.launch(run.program, run.launch, memory=run.memory)
     if check_outputs:
         run.check(run.memory)
     return result.to_payload()
+
+
+def aggregate_metrics(results: Iterable[KernelResult]) -> MetricSnapshot:
+    """Merge the obs snapshots of *results* into one fleet-wide snapshot.
+
+    Results without a snapshot (obs-off runs) contribute nothing.  The
+    fold iterates in the order given, but merge commutativity makes the
+    outcome order-independent — serial and parallel suites aggregate to
+    byte-identical snapshots (asserted by the determinism tests).
+    """
+    return aggregate_payloads(result.obs for result in results)
 
 
 class SuiteRunner:
@@ -127,12 +144,14 @@ class SuiteRunner:
                  check_outputs: bool = True,
                  cache: Union[None, bool, str, os.PathLike,
                               ResultCache] = None,
-                 jobs: int = 1, engine: Optional[str] = None) -> None:
+                 jobs: int = 1, engine: Optional[str] = None,
+                 obs: bool = False) -> None:
         self.config = config or experiment_config()
         self.scale = scale
         self.seed = seed
         self.check_outputs = check_outputs
         self.engine = engine
+        self.obs = bool(obs)
         self.jobs = max(1, jobs)
         self._cache: Dict[str, KernelResult] = {}
         if isinstance(cache, ResultCache):
@@ -155,7 +174,7 @@ class SuiteRunner:
         processes.
         """
         return result_key(name, dmr, config, self.scale, self.seed,
-                          self.check_outputs)
+                          self.check_outputs, self.obs)
 
     def _spec(self, name: str, dmr: Optional[DMRConfig],
               config: Optional[GPUConfig]) -> RunSpec:
@@ -188,7 +207,7 @@ class SuiteRunner:
             return cached
         payload = _simulate_payload(
             (name, dmr, config, self.scale, self.seed, self.check_outputs,
-             self.engine)
+             self.engine, self.obs)
         )
         self.simulations += 1
         result = KernelResult.from_payload(payload)
@@ -228,7 +247,7 @@ class SuiteRunner:
         if workers > 1:
             order = list(missing.items())
             args = [(name, dmr, config, self.scale, self.seed,
-                     self.check_outputs, self.engine)
+                     self.check_outputs, self.engine, self.obs)
                     for name, dmr, config in (spec for _, spec in order)]
             payloads = pool_map(_simulate_payload, args, workers)
             for (key, _), payload in zip(order, payloads):

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.common.bitops import active_lane_list
-from repro.common.stats import StatSet
+from repro.obs.metrics import MetricsRegistry
 from repro.core.comparator import ResultComparator
 from repro.core.coverage import is_coverable
 from repro.isa.instruction import Instruction
@@ -26,7 +26,7 @@ from repro.sim.executor import Executor
 class DMTRController:
     """Verify every instruction one cycle after it executes."""
 
-    def __init__(self, stats: StatSet,
+    def __init__(self, stats: MetricsRegistry,
                  functional_verify: bool = False) -> None:
         self.stats = stats
         self.functional_verify = functional_verify
@@ -43,10 +43,10 @@ class DMTRController:
         eligible = (is_coverable(event.instruction.opcode)
                     and event.active_count > 0)
         if eligible:
-            self.stats.bump("coverage_eligible_lanes", event.active_count)
-            self.stats.bump("coverage_verified_lanes", event.active_count)
-        self.stats.bump("dmtr_replays")
-        self.stats.bump(f"verify_unit_{event.unit.value}")
+            self.stats.inc("coverage_eligible_lanes", event.active_count)
+            self.stats.inc("coverage_verified_lanes", event.active_count)
+        self.stats.inc("dmtr_replays")
+        self.stats.inc(f"verify_unit_{event.unit.value}")
         if self.functional_verify and executor is not None:
             for lane in active_lane_list(event.hw_mask, event.warp_width):
                 if lane not in event.lane_inputs:

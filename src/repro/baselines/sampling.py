@@ -17,7 +17,7 @@ from typing import List, Optional
 
 from repro.common.config import DMRConfig, GPUConfig
 from repro.common.errors import ConfigError
-from repro.common.stats import StatSet
+from repro.obs.metrics import MetricsRegistry
 from repro.core.dmr_controller import DMRController
 from repro.isa.instruction import Instruction
 from repro.sim.events import IssueEvent
@@ -32,7 +32,7 @@ class SamplingDMRController:
         self,
         gpu_config: GPUConfig,
         dmr_config: DMRConfig,
-        stats: StatSet,
+        stats: MetricsRegistry,
         epoch_cycles: int = 1000,
         sample_cycles: int = 100,
         functional_verify: bool = False,
@@ -63,16 +63,16 @@ class SamplingDMRController:
 
     def on_issue(self, event: IssueEvent, executor: Executor) -> int:
         if self._sampling(event.cycle):
-            self.stats.bump("sampling_window_issues")
+            self.stats.inc("sampling_window_issues")
             return self._inner.on_issue(event, executor)
         # outside the window: unprotected issue; give the checker the
         # cycle as an idle slot so leftover ReplayQ entries drain
-        self.stats.bump("sampling_skipped_issues")
+        self.stats.inc("sampling_skipped_issues")
         eligible = event.active_count > 0
         if eligible:
             from repro.core.coverage import is_coverable
             if is_coverable(event.instruction.opcode):
-                self.stats.bump("coverage_eligible_lanes",
+                self.stats.inc("coverage_eligible_lanes",
                                 event.active_count)
         self._inner.on_idle(event.cycle)
         return 0
@@ -100,7 +100,7 @@ def sampling_factory(gpu_config: GPUConfig,
     """A ``controller_factory`` for :meth:`repro.sim.gpu.GPU.launch`."""
     dmr_config = dmr_config or DMRConfig.paper_default()
 
-    def factory(stats: StatSet) -> SamplingDMRController:
+    def factory(stats: MetricsRegistry) -> SamplingDMRController:
         return SamplingDMRController(
             gpu_config=gpu_config,
             dmr_config=dmr_config,

@@ -3,8 +3,9 @@
 This package deliberately holds only dependency-free building blocks:
 bit-level active-mask helpers (:mod:`repro.common.bitops`), configuration
 dataclasses (:mod:`repro.common.config`), the exception hierarchy
-(:mod:`repro.common.errors`) and counter/statistics primitives
-(:mod:`repro.common.stats`).
+(:mod:`repro.common.errors`) and binomial interval statistics
+(:mod:`repro.common.stats`).  Metric/counter primitives live in
+:mod:`repro.obs.metrics`.
 """
 
 from repro.common.bitops import (
@@ -24,20 +25,18 @@ from repro.common.errors import (
     ReproError,
     SimulationError,
 )
-from repro.common.stats import Counter, Histogram, StatSet
+from repro.common.stats import binomial_interval
 
 __all__ = [
     "ActiveMask",
     "ConfigError",
-    "Counter",
     "DMRConfig",
     "GPUConfig",
-    "Histogram",
     "KernelError",
     "MappingPolicy",
     "ReproError",
     "SimulationError",
-    "StatSet",
+    "binomial_interval",
     "active_lane_list",
     "count_active",
     "first_active_lane",

@@ -1,23 +1,20 @@
-"""Counter and histogram primitives used by simulator statistics.
+"""Binomial confidence intervals for sampled fault-injection campaigns.
 
-The simulator accumulates large numbers of small events (per-cycle,
-per-instruction).  These classes keep that cheap and give the analysis
-layer a uniform way to merge statistics across SMs and kernels.
+Used by :mod:`repro.faults.sampler`: Wilson score (the default — good
+coverage at campaign-sized N even for proportions near 1, exactly where
+measured error coverage lives) and the exact Clopper–Pearson interval
+(conservative; never undercovers).
 
-The module also hosts the binomial confidence intervals used by sampled
-fault-injection campaigns (:mod:`repro.faults.sampler`): Wilson score
-(the default — good coverage at campaign-sized N even for proportions
-near 1, exactly where measured error coverage lives) and the exact
-Clopper–Pearson interval (conservative; never undercovers).
+The counter/histogram primitives that used to live here are now the
+metrics layer of the observability subsystem: see
+:mod:`repro.obs.metrics`.
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
-from dataclasses import dataclass
 from statistics import NormalDist
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Tuple
+from typing import Tuple
 
 
 # ----------------------------------------------------------------------
@@ -173,165 +170,3 @@ def binomial_interval(successes: int, trials: int,
             f"{sorted(BINOMIAL_INTERVALS)}"
         ) from None
     return fn(successes, trials, confidence)
-
-
-@dataclass
-class Counter:
-    """A named monotonically increasing counter."""
-
-    name: str
-    value: int = 0
-
-    def add(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
-
-    def merge(self, other: "Counter") -> None:
-        if other.name != self.name:
-            raise ValueError(
-                f"cannot merge counter {other.name!r} into {self.name!r}"
-            )
-        self.value += other.value
-
-    def to_payload(self) -> List[Any]:
-        return [self.name, self.value]
-
-    @classmethod
-    def from_payload(cls, payload: List[Any]) -> "Counter":
-        return cls(name=payload[0], value=payload[1])
-
-
-class Histogram:
-    """A sparse histogram over hashable keys (bin -> count)."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._bins: Dict[Hashable, int] = defaultdict(int)
-
-    def add(self, key: Hashable, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError(f"histogram {self.name!r} cannot decrease")
-        self._bins[key] += amount
-
-    def count(self, key: Hashable) -> int:
-        return self._bins.get(key, 0)
-
-    @property
-    def total(self) -> int:
-        return sum(self._bins.values())
-
-    def items(self) -> Iterator[Tuple[Hashable, int]]:
-        return iter(sorted(self._bins.items(), key=lambda kv: repr(kv[0])))
-
-    def as_dict(self) -> Dict[Hashable, int]:
-        return dict(self._bins)
-
-    def fractions(self) -> Dict[Hashable, float]:
-        """Each bin's share of the total (empty histogram -> empty dict)."""
-        total = self.total
-        if total == 0:
-            return {}
-        return {key: count / total for key, count in self._bins.items()}
-
-    def merge(self, other: "Histogram") -> None:
-        if other.name != self.name:
-            raise ValueError(
-                f"cannot merge histogram {other.name!r} into {self.name!r}"
-            )
-        for key, count in other._bins.items():
-            self._bins[key] += count
-
-    def mean_key(self) -> float:
-        """Weighted mean of numeric bin keys (raises on non-numeric keys)."""
-        total = self.total
-        if total == 0:
-            return 0.0
-        return sum(key * count for key, count in self._bins.items()) / total
-
-    def to_payload(self) -> Dict[str, Any]:
-        """Plain-data form with deterministically ordered bins."""
-        bins = sorted(self._bins.items(), key=lambda kv: repr(kv[0]))
-        return {"name": self.name, "bins": [[key, count] for key, count in bins]}
-
-    @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "Histogram":
-        hist = cls(payload["name"])
-        for key, count in payload["bins"]:
-            hist._bins[key] = count
-        return hist
-
-    def __len__(self) -> int:
-        return len(self._bins)
-
-    def __repr__(self) -> str:
-        return f"Histogram({self.name!r}, bins={len(self._bins)}, total={self.total})"
-
-
-class StatSet:
-    """A bag of counters and histograms addressed by name.
-
-    Components create stats lazily; the analysis layer merges StatSets
-    from all SMs of a run with :meth:`merge`.
-    """
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
-
-    def histogram(self, name: str) -> Histogram:
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
-        return self._histograms[name]
-
-    def bump(self, name: str, amount: int = 1) -> None:
-        """Shorthand for ``self.counter(name).add(amount)``."""
-        self.counter(name).add(amount)
-
-    def value(self, name: str) -> int:
-        """Current value of counter *name* (0 if never touched)."""
-        counter = self._counters.get(name)
-        return counter.value if counter else 0
-
-    def counters(self) -> Mapping[str, int]:
-        return {name: c.value for name, c in sorted(self._counters.items())}
-
-    def histograms(self) -> Iterable[Histogram]:
-        return list(self._histograms.values())
-
-    def merge(self, other: "StatSet") -> None:
-        for name, counter in other._counters.items():
-            self.counter(name).merge(counter)
-        for name, hist in other._histograms.items():
-            self.histogram(name).merge(hist)
-
-    def to_payload(self) -> Dict[str, Any]:
-        """Plain-data form with deterministically ordered members."""
-        return {
-            "counters": [self._counters[name].to_payload()
-                         for name in sorted(self._counters)],
-            "histograms": [self._histograms[name].to_payload()
-                           for name in sorted(self._histograms)],
-        }
-
-    @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "StatSet":
-        stats = cls()
-        for entry in payload["counters"]:
-            counter = Counter.from_payload(entry)
-            stats._counters[counter.name] = counter
-        for entry in payload["histograms"]:
-            hist = Histogram.from_payload(entry)
-            stats._histograms[hist.name] = hist
-        return stats
-
-    def __repr__(self) -> str:
-        return (
-            f"StatSet(counters={len(self._counters)}, "
-            f"histograms={len(self._histograms)})"
-        )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.stats import StatSet
+from repro.obs.metrics import MetricsRegistry
 from repro.isa.opcodes import Opcode
 
 #: Opcodes with no datapath computation to protect.
@@ -68,7 +68,7 @@ class CoverageReport:
         return 100.0 * self.coverage
 
     @classmethod
-    def from_stats(cls, stats: StatSet) -> "CoverageReport":
+    def from_stats(cls, stats: MetricsRegistry) -> "CoverageReport":
         return cls(
             eligible_lanes=stats.value("coverage_eligible_lanes"),
             verified_lanes=stats.value("coverage_verified_lanes"),

@@ -12,13 +12,15 @@ The SM calls four hooks (see :mod:`repro.sim.sm`):
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.common.config import DMRConfig, GPUConfig
-from repro.common.stats import StatSet
 from repro.core.comparator import ResultComparator
 from repro.core.coverage import CoverageReport, is_coverable
 from repro.core.inter_warp import ReplayChecker
 from repro.core.intra_warp import IntraWarpDMR
 from repro.isa.instruction import Instruction
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import IssueEvent
 from repro.sim.executor import Executor
 
@@ -30,8 +32,9 @@ class DMRController:
         self,
         gpu_config: GPUConfig,
         dmr_config: DMRConfig,
-        stats: StatSet,
+        stats: MetricsRegistry,
         functional_verify: bool = False,
+        probe: Optional[object] = None,
     ) -> None:
         self.gpu_config = gpu_config
         self.config = dmr_config
@@ -42,6 +45,7 @@ class DMRController:
             stats=stats,
             comparator=self.comparator,
             functional_verify=functional_verify,
+            probe=probe,
         )
         self.checker = ReplayChecker(
             cluster_size=gpu_config.cluster_size,
@@ -49,7 +53,11 @@ class DMRController:
             stats=stats,
             comparator=self.comparator,
             functional_verify=functional_verify,
+            probe=probe,
         )
+        if probe is not None:
+            # per-cycle ReplayQ depth sampling (see PipelineProbe.on_cycle)
+            probe.bind_queue_depth(lambda: len(self.checker.replayq))
 
     # -- SM hooks ----------------------------------------------------------
     def check_raw(self, warp_id: int, inst: Instruction) -> int:
@@ -62,7 +70,7 @@ class DMRController:
             return 0
         eligible = is_coverable(event.instruction.opcode) and event.active_count > 0
         if eligible:
-            self.stats.bump("coverage_eligible_lanes", event.active_count)
+            self.stats.inc("coverage_eligible_lanes", event.active_count)
 
         if event.is_full:
             stall = self.checker.accept(event, executor)
@@ -70,15 +78,15 @@ class DMRController:
                 # Every fully utilized instruction is verified on one of
                 # Algorithm 1's paths (co-execute, buffered replay,
                 # eager re-execution, or the kernel-end flush).
-                self.stats.bump("coverage_verified_lanes", event.active_count)
-                self.stats.bump("coverage_inter_lanes", event.active_count)
+                self.stats.inc("coverage_verified_lanes", event.active_count)
+                self.stats.inc("coverage_inter_lanes", event.active_count)
             return stall
 
         stall = self.checker.observe_other_issue(event, executor)
         if eligible:
             verified = self.intra.process(event, executor)
-            self.stats.bump("coverage_verified_lanes", verified)
-            self.stats.bump("coverage_intra_lanes", verified)
+            self.stats.inc("coverage_verified_lanes", verified)
+            self.stats.inc("coverage_intra_lanes", verified)
         return stall
 
     def on_idle(self, cycle: int) -> None:

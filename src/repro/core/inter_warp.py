@@ -28,12 +28,12 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.bitops import active_lane_list
 from repro.common.config import DMRConfig
-from repro.common.stats import StatSet
 from repro.core.comparator import ResultComparator
 from repro.core.mapping import shuffled_lane
 from repro.core.replayq import ReplayQ, ReplayQEntry
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import UnitType
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import IssueEvent
 from repro.sim.executor import Executor
 
@@ -45,15 +45,17 @@ class ReplayChecker:
         self,
         cluster_size: int,
         dmr_config: DMRConfig,
-        stats: StatSet,
+        stats: MetricsRegistry,
         comparator: ResultComparator,
         functional_verify: bool = False,
+        probe: Optional[object] = None,
     ) -> None:
         self.cluster_size = cluster_size
         self.config = dmr_config
         self.stats = stats
         self.comparator = comparator
         self.functional_verify = functional_verify
+        self.probe = probe
         self.replayq = ReplayQ(dmr_config.replayq_entries)
         self._pending: Optional[IssueEvent] = None
         # (warp_id, reg) -> producing entry still unverified in the queue
@@ -73,7 +75,7 @@ class ReplayChecker:
         stall, used_units = self._resolve_pending(next_event=event)
         self._drain_idle_units(event.cycle, used_units | {event.unit})
         self._pending = event
-        self.stats.bump("inter_warp_instructions")
+        self.stats.inc("inter_warp_instructions")
         return stall
 
     def observe_other_issue(self, event: IssueEvent,
@@ -113,7 +115,7 @@ class ReplayChecker:
                 continue
             self._forget_unverified(entry)
             self._verify(entry.event, cycle, "drain_idle")
-            self.stats.bump("replayq_idle_drains")
+            self.stats.inc("replayq_idle_drains")
 
     def check_raw(self, warp_id: int, inst: Instruction) -> int:
         """RAW-on-unverified rule: verify buffered producers first.
@@ -163,7 +165,7 @@ class ReplayChecker:
         if pending.unit is not next_event.unit:
             # Different type in DEC/SCHED: co-execute the DMR copy.
             self._verify(pending, next_event.cycle, "coexec")
-            self.stats.bump("inter_warp_coexec")
+            self.stats.inc("inter_warp_coexec")
             return 0, {pending.unit}
 
         entry = self.replayq.dequeue_different_type(pending.unit)
@@ -173,7 +175,7 @@ class ReplayChecker:
             self._forget_unverified(entry)
             self._verify(entry.event, next_event.cycle, "coexec_from_queue")
             self._enqueue(pending, next_event.cycle)
-            self.stats.bump("replayq_swaps")
+            self.stats.inc("replayq_swaps")
             return 0, {entry.unit}
 
         if self.replayq.is_full:
@@ -181,7 +183,7 @@ class ReplayChecker:
             # the pipeline (paper).  The non-eager ablation re-reads the
             # register file, costing a second cycle.
             self._verify(pending, next_event.cycle, "eager")
-            self.stats.bump("replayq_full_stalls")
+            self.stats.inc("replayq_full_stalls")
             return (1 if self.config.eager_reexecution else 2), set()
 
         self._enqueue(pending, next_event.cycle)
@@ -191,7 +193,9 @@ class ReplayChecker:
         entry = self.replayq.enqueue(event, cycle)
         if event.dest_reg is not None:
             self._unverified[(event.warp_id, event.dest_reg)] = entry
-        self.stats.bump("replayq_enqueues")
+        self.stats.inc("replayq_enqueues")
+        if self.probe is not None:
+            self.probe.on_enqueue(event, len(self.replayq))
 
     def _forget_unverified(self, entry: ReplayQEntry) -> None:
         if entry.dest_reg is None:
@@ -205,10 +209,13 @@ class ReplayChecker:
     # ------------------------------------------------------------------
     def _verify(self, event: IssueEvent, cycle: int, how: str) -> None:
         """Redundantly execute *event* on (shuffled) lanes and compare."""
-        self.stats.bump("inter_warp_verified_instructions")
-        self.stats.bump("inter_warp_verified_lanes", event.active_count)
-        self.stats.bump(f"inter_warp_verify_{how}")
-        self.stats.bump(f"verify_unit_{event.unit.value}")
+        self.stats.inc("inter_warp_verified_instructions")
+        self.stats.inc("inter_warp_verified_lanes", event.active_count)
+        self.stats.inc(f"inter_warp_verify_{how}")
+        self.stats.inc(f"verify_unit_{event.unit.value}")
+        if self.probe is not None:
+            self.probe.on_inter_verify(event, how, cycle,
+                                       shuffled=self.config.lane_shuffle)
         if not (self.functional_verify and self._executor is not None):
             return
         for lane in active_lane_list(event.hw_mask, event.warp_width):

@@ -15,9 +15,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.bitops import active_lane_list
-from repro.common.stats import StatSet
 from repro.core.comparator import ResultComparator
 from repro.core.rfu import RegisterForwardingUnit
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import IssueEvent
 from repro.sim.executor import Executor
 
@@ -28,14 +28,16 @@ class IntraWarpDMR:
     def __init__(
         self,
         cluster_size: int,
-        stats: StatSet,
+        stats: MetricsRegistry,
         comparator: ResultComparator,
         functional_verify: bool = False,
+        probe: Optional[object] = None,
     ) -> None:
         self.rfu = RegisterForwardingUnit(cluster_size)
         self.stats = stats
         self.comparator = comparator
         self.functional_verify = functional_verify
+        self.probe = probe
 
     def process(self, event: IssueEvent,
                 executor: Optional[Executor]) -> int:
@@ -46,13 +48,16 @@ class IntraWarpDMR:
         pairs = self.rfu.pair_warp(event.hw_mask, event.warp_width)
         verified_lanes = set(pairs.values())
 
-        self.stats.bump("intra_warp_instructions")
-        self.stats.bump("intra_warp_verified_lanes", len(verified_lanes))
-        self.stats.bump("intra_warp_redundant_executions", len(pairs))
-        self.stats.bump(
+        self.stats.inc("intra_warp_instructions")
+        self.stats.inc("intra_warp_verified_lanes", len(verified_lanes))
+        self.stats.inc("intra_warp_redundant_executions", len(pairs))
+        self.stats.inc(
             f"intra_redundant_lanes_{event.instruction.unit.value}",
             len(pairs),
         )
+        if self.probe is not None:
+            self.probe.on_intra_pairing(event, len(verified_lanes),
+                                        len(pairs))
 
         if self.functional_verify and executor is not None:
             for verifier_lane, original_lane in pairs.items():

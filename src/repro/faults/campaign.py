@@ -72,6 +72,9 @@ class FaultRun:
     detections: int
     activations: int
     cycles: int = 0  # faulty-run kernel cycles (0 for legacy/HUNG runs)
+    #: metrics snapshot payload of the faulty run (None unless the
+    #: campaign spec enabled observability; HUNG runs never carry one)
+    obs: Optional[dict] = None
 
     def to_payload(self) -> dict:
         """Plain-data form for worker IPC and the persistent cache."""
@@ -81,6 +84,7 @@ class FaultRun:
             "detections": self.detections,
             "activations": self.activations,
             "cycles": self.cycles,
+            "obs": self.obs,
         }
 
     @classmethod
@@ -91,6 +95,7 @@ class FaultRun:
             detections=payload["detections"],
             activations=payload["activations"],
             cycles=payload.get("cycles", 0),
+            obs=payload.get("obs"),
         )
 
 
@@ -158,6 +163,17 @@ class CampaignResult:
 
     def summary(self) -> Dict[str, int]:
         return {outcome.value: self.count(outcome) for outcome in Outcome}
+
+    def metrics(self):
+        """Fleet-wide :class:`~repro.obs.MetricSnapshot` over all runs.
+
+        Merges each run's snapshot payload (obs-enabled campaigns only;
+        obs-off runs contribute nothing).  Runs are folded in campaign
+        order but merge commutativity makes the result order-free, so
+        serial and parallel campaigns aggregate byte-identically.
+        """
+        from repro.obs import aggregate_payloads
+        return aggregate_payloads(run.obs for run in self.runs)
 
 
 # ----------------------------------------------------------------------
@@ -315,6 +331,8 @@ class CampaignSpec:
     watchdog_factor: int = DEFAULT_WATCHDOG_FACTOR
     watchdog_slack: int = DEFAULT_WATCHDOG_SLACK
     max_cycles: int = DEFAULT_MAX_FAULTY_CYCLES
+    #: record per-run metrics snapshots (merged by CampaignResult.metrics)
+    obs: bool = False
 
     def prepare(self):
         """A fresh :class:`~repro.workloads.base.WorkloadRun` instance."""
@@ -343,6 +361,7 @@ def fault_run_key(spec: CampaignSpec, fault: Fault) -> str:
         "watchdog_factor": spec.watchdog_factor,
         "watchdog_slack": spec.watchdog_slack,
         "max_cycles": spec.max_cycles,
+        "obs": spec.obs,
         "fault": fault_to_payload(fault),
         "salt": code_version_salt(),
     })
@@ -357,10 +376,13 @@ def run_single_fault(spec: CampaignSpec, fault: Fault,
     run = spec.prepare()
     injector = FaultInjector([fault])
     gpu = GPU(spec.config, dmr=spec.dmr, fault_hook=injector,
-              max_cycles=budget, engine=spec.engine)
+              max_cycles=budget, engine=spec.engine,
+              obs=("metrics" if spec.obs else False))
     try:
         result = gpu.launch(run.program, run.launch, memory=run.memory)
     except SimulationError:
+        # a HUNG run died mid-simulation: whatever partial metrics the
+        # session gathered would not be reproducible, so none ride along
         return FaultRun(
             fault=fault,
             outcome=Outcome.HUNG,
@@ -375,6 +397,7 @@ def run_single_fault(spec: CampaignSpec, fault: Fault,
         detections=len(result.detections),
         activations=injector.activations,
         cycles=result.cycles,
+        obs=result.obs,
     )
 
 
@@ -442,8 +465,10 @@ class CampaignEngine:
         from repro.analysis.result_cache import result_key
 
         spec = self.spec
+        # the golden baseline never records metrics, so obs=False keeps
+        # it shared with suite-runner baselines regardless of spec.obs
         return result_key(spec.workload, DMRConfig.disabled(), spec.config,
-                          spec.scale, spec.seed, False)
+                          spec.scale, spec.seed, False, False)
 
     def golden_result(self) -> KernelResult:
         """The fault-free baseline run (computed at most once, ever)."""

@@ -1,0 +1,127 @@
+"""Chrome ``trace_event`` timeline export.
+
+The tracer records span/instant/counter events in the JSON format that
+``chrome://tracing`` and Perfetto load directly (the "Trace Event
+Format").  The mapping onto the simulator:
+
+* **pid** = SM id (one process track per SM, named via metadata),
+* **tid** = warp id (one thread track per warp),
+* **ts** = simulated cycle.  Trace viewers interpret ``ts`` in
+  microseconds; we keep 1 cycle = 1 µs so the timeline reads in cycles
+  directly, and stash the modeled clock period in ``otherData`` for
+  anyone converting to wall time.
+
+Durations ("X" events) are warp-instruction issues; instants ("i") mark
+DMR verifications and stalls; counter tracks ("C") follow ReplayQ
+occupancy.  A hard ``max_events`` cap bounds memory on long kernels —
+events past the cap are counted in :attr:`Tracer.dropped` and reported
+in ``otherData`` rather than silently vanishing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+
+class Tracer:
+    """An append-only buffer of Chrome trace events."""
+
+    def __init__(self, max_events: int = 500_000) -> None:
+        if max_events <= 0:
+            raise ValueError(f"max_events must be > 0, got {max_events}")
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: List[Dict[str, Any]] = []
+        # metadata is emitted once per track and exempt from the cap
+        self._metadata: List[Dict[str, Any]] = []
+        self._named_processes: Set[int] = set()
+        self._named_threads: Set[Tuple[int, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- event emission ------------------------------------------------
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def duration(self, pid: int, tid: int, name: str, ts: int, dur: int,
+                 args: Optional[Dict[str, Any]] = None,
+                 cat: str = "issue") -> None:
+        """A complete span ("X"): one warp-instruction occupying issue."""
+        event: Dict[str, Any] = {
+            "name": name, "ph": "X", "cat": cat,
+            "pid": pid, "tid": tid, "ts": ts, "dur": dur,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def instant(self, pid: int, tid: int, name: str, ts: int,
+                args: Optional[Dict[str, Any]] = None,
+                cat: str = "dmr") -> None:
+        """A zero-width marker ("i"), thread-scoped."""
+        event: Dict[str, Any] = {
+            "name": name, "ph": "i", "s": "t", "cat": cat,
+            "pid": pid, "tid": tid, "ts": ts,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def counter(self, pid: int, name: str, ts: int,
+                values: Dict[str, int]) -> None:
+        """A counter-track sample ("C"), e.g. ReplayQ depth over time."""
+        self._emit({
+            "name": name, "ph": "C", "cat": "counter",
+            "pid": pid, "tid": 0, "ts": ts, "args": dict(values),
+        })
+
+    # -- track naming --------------------------------------------------
+    def process_name(self, pid: int, name: str) -> None:
+        """Name the *pid* track (idempotent)."""
+        if pid in self._named_processes:
+            return
+        self._named_processes.add(pid)
+        self._metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+
+    def thread_name(self, pid: int, tid: int, name: str) -> None:
+        """Name the (*pid*, *tid*) track (idempotent)."""
+        if (pid, tid) in self._named_threads:
+            return
+        self._named_threads.add((pid, tid))
+        self._metadata.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+
+    # -- export --------------------------------------------------------
+    def to_payload(self,
+                   other_data: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The JSON-object form of the trace (metadata first)."""
+        data: Dict[str, Any] = {"dropped_events": self.dropped}
+        if other_data:
+            data.update(other_data)
+        return {
+            "traceEvents": self._metadata + self._events,
+            "displayTimeUnit": "ns",
+            "otherData": data,
+        }
+
+    def dumps(self, other_data: Optional[Dict[str, Any]] = None) -> str:
+        return json.dumps(self.to_payload(other_data), sort_keys=True)
+
+    def write(self, path: str,
+              other_data: Optional[Dict[str, Any]] = None) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_payload(other_data), fh, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return (f"Tracer(events={len(self._events)}, "
+                f"dropped={self.dropped}, max={self.max_events})")

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.common.config import GPUConfig
-from repro.common.stats import StatSet
+from repro.obs.metrics import MetricsRegistry
 from repro.isa.opcodes import UnitType
 from repro.power.params import PowerParams
 from repro.sim.gpu import KernelResult
@@ -59,7 +59,7 @@ class PowerModel:
         self.params = params or PowerParams()
 
     # ------------------------------------------------------------------
-    def _unit_accesses(self, stats: StatSet, unit: UnitType) -> float:
+    def _unit_accesses(self, stats: MetricsRegistry, unit: UnitType) -> float:
         """Warp-instruction-equivalent accesses of one unit type."""
         issued = stats.histogram("unit_type").count(unit.value)
         replays = stats.value(f"verify_unit_{unit.value}")

@@ -257,7 +257,7 @@ class Executor:
         self._vector_enabled = engine == "auto"
         self._decoded: Optional[list] = None
         self._adhoc: Dict[Instruction, vexec.DecodedInst] = {}
-        #: issue counts per engine (diagnostics; not part of StatSet so
+        #: issue counts per engine (diagnostics; not part of the stats registry so
         #: result payloads stay byte-identical across engines)
         self.vector_issues = 0
         self.scalar_issues = 0

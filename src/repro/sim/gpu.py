@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.common.config import DMRConfig, GPUConfig, LaunchConfig, MappingPolicy
-from repro.common.stats import StatSet
+from repro.obs import ObsSession, resolve_obs
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import IssueEvent
 from repro.sim.executor import FaultHook
 from repro.sim.memory import GlobalMemory
@@ -29,10 +30,14 @@ class KernelResult:
     program_name: str
     cycles: int
     per_sm_cycles: List[int]
-    stats: StatSet
+    stats: MetricsRegistry
     memory: GlobalMemory
     detections: List = field(default_factory=list)
     clock_period_ns: float = 1.25
+    #: observability snapshot payload (plain data; None when obs was off).
+    #: Rides the cache/IPC payload so warm hits replay metrics without
+    #: re-simulating.
+    obs: Optional[dict] = None
 
     @property
     def coverage(self):
@@ -67,6 +72,7 @@ class KernelResult:
             "memory": self.memory.to_payload(),
             "detections": [event.to_payload() for event in self.detections],
             "clock_period_ns": self.clock_period_ns,
+            "obs": self.obs,
         }
 
     @classmethod
@@ -77,11 +83,12 @@ class KernelResult:
             program_name=payload["program_name"],
             cycles=payload["cycles"],
             per_sm_cycles=list(payload["per_sm_cycles"]),
-            stats=StatSet.from_payload(payload["stats"]),
+            stats=MetricsRegistry.from_payload(payload["stats"]),
             memory=GlobalMemory.from_payload(payload["memory"]),
             detections=[DetectionEvent.from_payload(entry)
                         for entry in payload["detections"]],
             clock_period_ns=payload["clock_period_ns"],
+            obs=payload.get("obs"),
         )
 
     def __repr__(self) -> str:
@@ -102,6 +109,7 @@ class GPU:
         fault_hook: Optional[FaultHook] = None,
         max_cycles: int = DEFAULT_MAX_CYCLES,
         engine: Optional[str] = None,
+        obs: object = False,
     ) -> None:
         self.config = config or GPUConfig.paper_baseline()
         self.dmr = dmr or DMRConfig.disabled()
@@ -111,6 +119,11 @@ class GPU:
         # "auto" means vectorized whenever exactness allows (never with
         # a fault hook armed); "scalar" pins the per-lane interpreter.
         self.engine = engine or os.environ.get("REPRO_EXEC", "auto")
+        # observability: an ObsSession, a mode string ("metrics"/
+        # "trace"), True, or None to defer to $REPRO_OBS.  False (the
+        # default) disables it outright: no probes are created and the
+        # issue loop's only cost is one `is not None` check per tick.
+        self.obs: Optional[ObsSession] = resolve_obs(obs)
 
     def launch(
         self,
@@ -151,14 +164,16 @@ class GPU:
         for position, block_id in enumerate(dispatch):
             blocks_of_sm[position % cfg.num_sms].append(block_id)
 
-        merged = StatSet()
+        merged = MetricsRegistry()
         per_sm_cycles: List[int] = []
         detections: List = []
         functional_verify = self.fault_hook is not None
+        session = self.obs
 
         for sm_id, block_ids in enumerate(blocks_of_sm):
             if not block_ids:
                 continue
+            probe = session.probe(sm_id) if session is not None else None
             sm = SM(
                 sm_id=sm_id,
                 config=cfg,
@@ -170,6 +185,7 @@ class GPU:
                 fault_hook=self.fault_hook,
                 max_cycles=self.max_cycles,
                 engine=self.engine,
+                probe=probe,
             )
             if controller_factory is not None:
                 sm.dmr = controller_factory(sm.stats)
@@ -179,9 +195,12 @@ class GPU:
                     dmr_config=self.dmr,
                     stats=sm.stats,
                     functional_verify=functional_verify,
+                    probe=probe,
                 )
             if issue_listener is not None:
                 sm.add_issue_listener(issue_listener)
+            if probe is not None and session.tracing:
+                sm.add_issue_listener(probe.on_issue)
             sm.run()
             per_sm_cycles.append(sm.cycle)
             merged.merge(sm.stats)
@@ -196,4 +215,6 @@ class GPU:
             memory=memory,
             detections=detections,
             clock_period_ns=cfg.clock_period_ns,
+            obs=(session.snapshot().to_payload()
+                 if session is not None else None),
         )

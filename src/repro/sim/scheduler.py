@@ -15,10 +15,19 @@ from repro.sim.warp import Warp
 
 
 class WarpScheduler:
-    """Selects which ready warp issues next."""
+    """Selects which ready warp issues next.
 
-    def __init__(self, policy: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN):
+    When an observability *probe* is attached, each pick additionally
+    reports how many warps were inspected before one was ready (the
+    scan depth — a direct read on scheduler pressure).  The count falls
+    out of the selection loops for free; with no probe there is zero
+    extra work.
+    """
+
+    def __init__(self, policy: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN,
+                 probe: Optional[object] = None):
         self.policy = policy
+        self.probe = probe
         self._last_index = -1
         self._greedy_warp: Optional[int] = None
 
@@ -32,33 +41,38 @@ class WarpScheduler:
         if not warps:
             return None
         if self.policy is SchedulerPolicy.GREEDY_THEN_OLDEST:
-            return self._select_gto(warps, cycle, is_ready)
-        return self._select_rr(warps, cycle, is_ready)
+            warp, scanned = self._select_gto(warps, cycle, is_ready)
+        else:
+            warp, scanned = self._select_rr(warps, cycle, is_ready)
+        if self.probe is not None:
+            self.probe.on_schedule(scanned, warp is not None)
+        return warp
 
     def _select_rr(self, warps: List[Warp], cycle: int,
-                   is_ready: Callable[[Warp], bool]) -> Optional[Warp]:
+                   is_ready: Callable[[Warp], bool]):
         n = len(warps)
         for step in range(1, n + 1):
             idx = (self._last_index + step) % n
             warp = warps[idx]
             if warp.can_issue(cycle) and is_ready(warp):
                 self._last_index = idx
-                return warp
-        return None
+                return warp, step
+        return None, n
 
     def _select_gto(self, warps: List[Warp], cycle: int,
-                    is_ready: Callable[[Warp], bool]) -> Optional[Warp]:
+                    is_ready: Callable[[Warp], bool]):
         # Greedy: stick with the last-issued warp while it stays ready.
         if self._greedy_warp is not None:
             for warp in warps:
                 if warp.warp_id == self._greedy_warp:
                     if warp.can_issue(cycle) and is_ready(warp):
-                        return warp
+                        return warp, 1
                     break
         # Oldest: lowest warp id wins.
-        for warp in sorted(warps, key=lambda w: w.warp_id):
+        for scanned, warp in enumerate(sorted(warps, key=lambda w: w.warp_id),
+                                       start=1):
             if warp.can_issue(cycle) and is_ready(warp):
                 self._greedy_warp = warp.warp_id
-                return warp
+                return warp, scanned
         self._greedy_warp = None
-        return None
+        return None, len(warps)

@@ -15,12 +15,13 @@ the paper's ReplayQ full/RAW stalls behave.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.common.config import GPUConfig, LaunchConfig
 from repro.common.errors import SimulationError
-from repro.common.stats import StatSet
 from repro.isa.opcodes import Opcode, UnitType
+from repro.obs.metrics import MetricsRegistry
 from repro.kernel.program import Program
 from repro.sim.events import IssueEvent
 from repro.sim.executor import ExecResult, Executor, FaultHook
@@ -48,6 +49,7 @@ class SM:
         fault_hook: Optional[FaultHook] = None,
         max_cycles: int = DEFAULT_MAX_CYCLES,
         engine: str = "auto",
+        probe: Optional[object] = None,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
@@ -61,12 +63,17 @@ class SM:
                                  engine=engine)
         self.executor.bind_program(program)
         self._schedulers = [
-            WarpScheduler(config.scheduler)
+            WarpScheduler(config.scheduler, probe=probe)
             for _ in range(config.num_schedulers)
         ]
-        self.stats = StatSet()
+        self.stats = MetricsRegistry()
         self.cycle = 0
-        self._stall_pending = 0
+        # Pending stall cycles, one deque entry per cycle, labeled with
+        # the cause that charged it ("raw" / "replay" / "bank").  The
+        # label is consumed when the cycle actually burns, so the
+        # per-cause counters partition cycles_dmr_stall exactly.
+        self._stall_causes: Deque[str] = deque()
+        self._probe = probe
         self._pending_blocks = list(block_ids)
         self._resident_warps: List[Warp] = []
         self._resident_blocks: List[ThreadBlock] = []
@@ -129,7 +136,7 @@ class SM:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self) -> StatSet:
+    def run(self) -> MetricsRegistry:
         """Execute every assigned block to completion; returns the stats."""
         self._admit_blocks()
         while self._has_work():
@@ -142,9 +149,10 @@ class SM:
                 )
         if self.dmr is not None:
             flush = self.dmr.on_kernel_end(self.cycle)
-            self._account_stall(flush)
+            if flush:
+                self._book_stall("flush", flush)
             self.cycle += flush
-        self.stats.counter("cycles_total").value = self.cycle
+        self.stats.counter("cycles_total").set(self.cycle)
         return self.stats
 
     def _has_work(self) -> bool:
@@ -164,10 +172,12 @@ class SM:
     def _tick(self) -> None:
         cycle = self.cycle
         self.cycle += 1
+        if self._probe is not None:
+            self._probe.on_cycle(cycle, len(self._resident_warps))
 
-        if self._stall_pending > 0:
-            self._stall_pending -= 1
-            self.stats.bump("cycles_dmr_stall")
+        if self._stall_causes:
+            # burn one pending stall cycle, attributed to its cause
+            self._book_stall(self._stall_causes.popleft(), 1)
             return
 
         issued = 0
@@ -185,29 +195,29 @@ class SM:
             # are shared between the schedulers (paper Section 2.2);
             # each scheduler has its own SPs.
             if inst.unit is not UnitType.SP and inst.unit in issued_units:
-                self.stats.bump("dual_issue_conflicts")
+                self.stats.inc("dual_issue_conflicts")
                 continue
             if self.dmr is not None:
                 raw_stall = self.dmr.check_raw(warp.warp_id, inst)
                 if raw_stall > 0:
                     # this tick absorbs one stall cycle if nothing
                     # issued yet; the remainder burns on later ticks
-                    self._stall_pending += raw_stall - (0 if issued else 1)
+                    self._defer_stall("raw", raw_stall - (0 if issued else 1))
                     if not issued:
-                        self.stats.bump("cycles_dmr_stall")
+                        self._book_stall("raw", 1)
                         raw_stalled = True
-                    self.stats.bump("raw_unverified_stalls")
+                    self.stats.inc("raw_unverified_stalls")
                     break  # the verification stall blocks the pipeline
             self._issue(warp, inst, cycle)
             issued += 1
             issued_units.append(inst.unit)
 
         if issued == 0 and not raw_stalled:
-            self.stats.bump("cycles_idle")
+            self.stats.inc("cycles_idle")
             if self.dmr is not None:
                 self.dmr.on_idle(cycle)
         elif issued == 2:
-            self.stats.bump("dual_issue_cycles")
+            self.stats.inc("dual_issue_cycles")
         if self._retire_pending:
             # warps only finish through an issued EXIT (flagged by
             # _issue), so ticks without a finishing issue skip the
@@ -235,12 +245,12 @@ class SM:
             from repro.sim.regbank import conflict_extra_cycles
             extra = conflict_extra_cycles(inst)
             if extra:
-                self._stall_pending += extra
-                self.stats.bump("bank_conflict_cycles", extra)
+                self._defer_stall("bank", extra)
+                self.stats.inc("bank_conflict_cycles", extra)
         if self.dmr is not None:
             stall = self.dmr.on_issue(result.event, self.executor)
             if stall:
-                self._stall_pending += stall
+                self._defer_stall("replay", stall)
 
     # ------------------------------------------------------------------
     # Issue mechanics
@@ -293,7 +303,7 @@ class SM:
                 result.event.pc + 1, reconv,
             )
             if control.taken_mask and control.taken_mask != result.event.logical_mask:
-                self.stats.bump("divergent_branches")
+                self.stats.inc("divergent_branches")
         elif control.kind == "exit":
             warp.stack.thread_exit(control.exit_mask)
         elif control.kind == "barrier":
@@ -307,10 +317,10 @@ class SM:
     # ------------------------------------------------------------------
     def _record_stats(self, event: IssueEvent, cycle: int) -> None:
         stats = self.stats
-        stats.bump("instructions_issued")
-        stats.bump("thread_instructions", event.active_count)
-        stats.histogram("active_threads").add(event.active_count)
-        stats.histogram("unit_type").add(event.unit.value)
+        stats.inc("instructions_issued")
+        stats.inc("thread_instructions", event.active_count)
+        stats.observe("active_threads", event.active_count)
+        stats.observe("unit_type", event.unit.value)
 
         # Same-unit run lengths (Fig 8a): record the finished run when
         # the unit type switches.
@@ -319,7 +329,7 @@ class SM:
             self._unit_run = (prev_unit, run + 1)
         else:
             if prev_unit is not None and run > 0:
-                stats.histogram(f"unit_run_{prev_unit.value}").add(run)
+                stats.observe(f"unit_run_{prev_unit.value}", run)
             self._unit_run = (event.unit, 1)
 
         # RAW distances (Fig 8b): cycles from a register's write to its
@@ -329,7 +339,7 @@ class SM:
             key = (event.warp_id, reg)
             write_cycle = self._last_write_cycle.get(key)
             if write_cycle is not None:
-                stats.histogram("raw_distance").add(cycle - write_cycle)
+                stats.observe("raw_distance", cycle - write_cycle)
         dest = inst.dest_register()
         if dest is not None:
             self._last_write_cycle[(event.warp_id, dest)] = cycle
@@ -337,7 +347,19 @@ class SM:
         for listener in self._issue_listeners:
             listener(event)
 
-    def _account_stall(self, cycles: int) -> None:
-        if cycles:
-            self.stats.counter("cycles_dmr_stall").add(cycles)
-            self.stats.counter("replayq_flush_cycles").add(cycles)
+    def _defer_stall(self, cause: str, cycles: int) -> None:
+        """Schedule *cycles* future non-issue cycles attributed to *cause*."""
+        if cycles > 0:
+            self._stall_causes.extend([cause] * cycles)
+
+    def _book_stall(self, cause: str, cycles: int) -> None:
+        """Account *cycles* of stall burned now, attributed to *cause*.
+
+        ``cycles_dmr_stall`` is the umbrella total; the per-cause
+        ``cycles_stall_*`` counters partition it exactly (asserted by
+        the cycle-accounting invariant tests).
+        """
+        self.stats.inc("cycles_dmr_stall", cycles)
+        self.stats.inc(f"cycles_stall_{cause}", cycles)
+        if self._probe is not None:
+            self._probe.on_stall(cause, cycles, self.cycle)

@@ -60,11 +60,18 @@ PAPER_ORDER: List[str] = [
     "matrixmul", "radixsort", "sha", "libor", "cufft",
 ]
 
+#: Convenience spellings accepted by :func:`get_workload`.  Aliases are
+#: lookup-only: cache keys, figures and payloads always carry the
+#: canonical registry name.
+ALIASES: Dict[str, str] = {
+    "matmul": "matrixmul",
+}
+
 
 def get_workload(name: str) -> Workload:
     """Look up a workload by registry name (see :data:`PAPER_ORDER`)."""
     try:
-        return _WORKLOADS[name]
+        return _WORKLOADS[ALIASES.get(name, name)]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; available: {sorted(_WORKLOADS)}"

@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.sampling import SamplingDMRController, sampling_factory
 from repro.common.config import DMRConfig, GPUConfig, LaunchConfig
 from repro.common.errors import ConfigError
-from repro.common.stats import StatSet
+from repro.obs.metrics import MetricsRegistry
 from repro.faults.injector import FaultInjector
 from repro.faults.models import StuckAtFault, TransientFault
 from repro.isa.opcodes import UnitType
@@ -35,12 +35,12 @@ class TestConfiguration:
     def test_invalid_window_rejected(self):
         with pytest.raises(ConfigError):
             SamplingDMRController(
-                GPUConfig.small(1), DMRConfig.paper_default(), StatSet(),
+                GPUConfig.small(1), DMRConfig.paper_default(), MetricsRegistry(),
                 epoch_cycles=100, sample_cycles=0,
             )
         with pytest.raises(ConfigError):
             SamplingDMRController(
-                GPUConfig.small(1), DMRConfig.paper_default(), StatSet(),
+                GPUConfig.small(1), DMRConfig.paper_default(), MetricsRegistry(),
                 epoch_cycles=10, sample_cycles=20,
             )
 

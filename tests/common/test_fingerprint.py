@@ -21,7 +21,7 @@ from repro.common.config import (
     SchedulerPolicy,
     config_fingerprint,
 )
-from repro.common.stats import Histogram, StatSet
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.sim.gpu import KernelResult
 from repro.sim.memory import GlobalMemory
 
@@ -144,10 +144,10 @@ class TestSerializationRoundTrip:
     @given(counters=st.dictionaries(st.text(min_size=1, max_size=12),
                                     st.integers(0, 1 << 40), max_size=8))
     def test_statset_round_trip(self, counters):
-        stats = StatSet()
+        stats = MetricsRegistry()
         for name, value in counters.items():
             stats.counter(name).value = value
-        restored = StatSet.from_payload(stats.to_payload())
+        restored = MetricsRegistry.from_payload(stats.to_payload())
         assert restored.counters() == stats.counters()
 
     @given(words=st.dictionaries(st.integers(0, 1 << 20),

@@ -1,114 +1,43 @@
-"""Unit tests for counters, histograms, and stat sets."""
+"""``repro.common.stats`` is binomial-interval math only.
+
+The counter/histogram primitives moved to :mod:`repro.obs.metrics`
+(tested in ``tests/obs/``); these tests pin the slimmed-down surface so
+the legacy shim cannot creep back.
+"""
 
 import pytest
 
-from repro.common.stats import Counter, Histogram, StatSet
+import repro.common.stats as stats_module
+from repro.common import binomial_interval
 
 
-class TestCounter:
-    def test_starts_at_zero(self):
-        assert Counter("x").value == 0
+class TestModuleSurface:
+    def test_legacy_metric_classes_are_gone(self):
+        for legacy in ("StatSet", "Counter", "Histogram"):
+            assert not hasattr(stats_module, legacy), (
+                f"{legacy} belongs in repro.obs.metrics now"
+            )
 
-    def test_add(self):
-        c = Counter("x")
-        c.add()
-        c.add(4)
-        assert c.value == 5
+    def test_interval_registry_intact(self):
+        assert set(stats_module.BINOMIAL_INTERVALS) == {
+            "wilson", "clopper-pearson",
+        }
 
-    def test_cannot_decrease(self):
+    def test_package_reexports_binomial_interval(self):
+        low, high = binomial_interval(9, 10)
+        assert 0.0 <= low < 0.9 < high <= 1.0
+
+
+class TestIntervalDispatch:
+    def test_wilson_default(self):
+        assert (stats_module.binomial_interval(5, 10)
+                == stats_module.wilson_interval(5, 10))
+
+    def test_clopper_pearson_by_name(self):
+        assert (stats_module.binomial_interval(5, 10,
+                                               method="clopper-pearson")
+                == stats_module.clopper_pearson_interval(5, 10))
+
+    def test_unknown_method_rejected(self):
         with pytest.raises(ValueError):
-            Counter("x").add(-1)
-
-    def test_merge(self):
-        a, b = Counter("x", 3), Counter("x", 4)
-        a.merge(b)
-        assert a.value == 7
-
-    def test_merge_name_mismatch(self):
-        with pytest.raises(ValueError):
-            Counter("x").merge(Counter("y"))
-
-
-class TestHistogram:
-    def test_empty(self):
-        h = Histogram("h")
-        assert h.total == 0
-        assert h.fractions() == {}
-        assert len(h) == 0
-
-    def test_add_and_count(self):
-        h = Histogram("h")
-        h.add(3)
-        h.add(3, 2)
-        h.add(5)
-        assert h.count(3) == 3
-        assert h.count(5) == 1
-        assert h.count(99) == 0
-        assert h.total == 4
-
-    def test_fractions_sum_to_one(self):
-        h = Histogram("h")
-        for key in (1, 2, 2, 3, 3, 3):
-            h.add(key)
-        fracs = h.fractions()
-        assert abs(sum(fracs.values()) - 1.0) < 1e-12
-        assert fracs[3] == 0.5
-
-    def test_mean_key(self):
-        h = Histogram("h")
-        h.add(2, 3)
-        h.add(6, 1)
-        assert h.mean_key() == 3.0
-
-    def test_mean_key_empty(self):
-        assert Histogram("h").mean_key() == 0.0
-
-    def test_merge(self):
-        a, b = Histogram("h"), Histogram("h")
-        a.add("x", 2)
-        b.add("x", 1)
-        b.add("y", 5)
-        a.merge(b)
-        assert a.count("x") == 3
-        assert a.count("y") == 5
-
-    def test_merge_name_mismatch(self):
-        with pytest.raises(ValueError):
-            Histogram("a").merge(Histogram("b"))
-
-    def test_negative_add_rejected(self):
-        with pytest.raises(ValueError):
-            Histogram("h").add(1, -1)
-
-
-class TestStatSet:
-    def test_lazy_creation(self):
-        s = StatSet()
-        assert s.value("nothing") == 0
-        s.bump("nothing")
-        assert s.value("nothing") == 1
-
-    def test_counter_identity(self):
-        s = StatSet()
-        assert s.counter("a") is s.counter("a")
-
-    def test_histogram_identity(self):
-        s = StatSet()
-        assert s.histogram("a") is s.histogram("a")
-
-    def test_merge_combines_everything(self):
-        a, b = StatSet(), StatSet()
-        a.bump("c", 1)
-        b.bump("c", 2)
-        b.bump("only_b", 9)
-        b.histogram("h").add(5)
-        a.merge(b)
-        assert a.value("c") == 3
-        assert a.value("only_b") == 9
-        assert a.histogram("h").count(5) == 1
-
-    def test_counters_snapshot_sorted(self):
-        s = StatSet()
-        s.bump("zeta")
-        s.bump("alpha", 2)
-        assert list(s.counters()) == ["alpha", "zeta"]
+            stats_module.binomial_interval(1, 2, method="wald")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.stats import StatSet
+from repro.obs.metrics import MetricsRegistry
 from repro.core.coverage import (
     COVERAGE_EXEMPT,
     CoverageReport,
@@ -56,22 +56,22 @@ class TestCoverableOpcodes:
 
 class TestCoverageReport:
     def test_from_stats(self):
-        stats = StatSet()
-        stats.bump("coverage_eligible_lanes", 200)
-        stats.bump("coverage_verified_lanes", 150)
-        stats.bump("coverage_intra_lanes", 50)
-        stats.bump("coverage_inter_lanes", 100)
+        stats = MetricsRegistry()
+        stats.inc("coverage_eligible_lanes", 200)
+        stats.inc("coverage_verified_lanes", 150)
+        stats.inc("coverage_intra_lanes", 50)
+        stats.inc("coverage_inter_lanes", 100)
         report = CoverageReport.from_stats(stats)
         assert report.coverage == 0.75
         assert report.coverage_percent == 75.0
         assert report.intra_verified_lanes == 50
 
     def test_empty_run_is_fully_covered(self):
-        report = CoverageReport.from_stats(StatSet())
+        report = CoverageReport.from_stats(MetricsRegistry())
         assert report.coverage == 1.0
 
     def test_str_mentions_percentage(self):
-        stats = StatSet()
-        stats.bump("coverage_eligible_lanes", 4)
-        stats.bump("coverage_verified_lanes", 3)
+        stats = MetricsRegistry()
+        stats.inc("coverage_eligible_lanes", 4)
+        stats.inc("coverage_verified_lanes", 3)
         assert "75.00%" in str(CoverageReport.from_stats(stats))

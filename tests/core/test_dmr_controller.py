@@ -1,7 +1,7 @@
 """Unit tests for the DMR controller facade."""
 
 from repro.common.config import DMRConfig, GPUConfig
-from repro.common.stats import StatSet
+from repro.obs.metrics import MetricsRegistry
 from repro.core.dmr_controller import DMRController
 from repro.isa.opcodes import Opcode
 
@@ -9,7 +9,7 @@ from tests.core.conftest import make_event
 
 
 def make_controller(dmr=None):
-    stats = StatSet()
+    stats = MetricsRegistry()
     controller = DMRController(
         gpu_config=GPUConfig.small(1),
         dmr_config=dmr or DMRConfig.paper_default(),

@@ -1,7 +1,7 @@
 """Unit tests for the Replay Checker (Algorithm 1, paper Section 4.3)."""
 
 from repro.common.config import DMRConfig
-from repro.common.stats import StatSet
+from repro.obs.metrics import MetricsRegistry
 from repro.core.comparator import ResultComparator
 from repro.core.inter_warp import ReplayChecker
 from repro.isa.instruction import Instruction
@@ -12,7 +12,7 @@ from tests.core.conftest import make_event
 
 
 def make_checker(replayq=10, lane_shuffle=True, eager=True):
-    stats = StatSet()
+    stats = MetricsRegistry()
     checker = ReplayChecker(
         cluster_size=4,
         dmr_config=DMRConfig(

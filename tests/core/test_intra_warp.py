@@ -1,6 +1,6 @@
 """Unit tests for intra-warp DMR and the result comparator."""
 
-from repro.common.stats import StatSet
+from repro.obs.metrics import MetricsRegistry
 from repro.core.comparator import ResultComparator
 from repro.core.intra_warp import IntraWarpDMR
 from repro.isa.opcodes import Opcode
@@ -9,7 +9,7 @@ from tests.core.conftest import make_event
 
 
 def make_engine(cluster=4, functional=False):
-    stats = StatSet()
+    stats = MetricsRegistry()
     comparator = ResultComparator()
     engine = IntraWarpDMR(
         cluster_size=cluster, stats=stats, comparator=comparator,

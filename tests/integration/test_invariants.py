@@ -43,6 +43,42 @@ class TestCycleAccounting:
             assert result.cycles == max(result.per_sm_cycles), name
 
 
+class TestStallAttribution:
+    """Each stall cycle carries exactly one cause label.
+
+    The umbrella ``cycles_dmr_stall`` must equal the sum of the
+    per-cause counters, and the full-partition identity must hold with
+    the causes substituted for the umbrella — the double-attribution
+    regression (a flush charged to both the umbrella and a second
+    counter) breaks these exact identities immediately.
+    """
+
+    @staticmethod
+    def _causes(stats):
+        return {name: value for name, value in stats.counters().items()
+                if name.startswith("cycles_stall_")}
+
+    def test_causes_partition_umbrella(self, dmr_results):
+        for name, result in dmr_results.items():
+            causes = self._causes(result.stats)
+            assert (sum(causes.values())
+                    == result.stats.value("cycles_dmr_stall")), name
+
+    def test_total_partitions_by_cause(self, dmr_results):
+        for name, result in dmr_results.items():
+            stats = result.stats
+            issue_cycles = (stats.value("instructions_issued")
+                            - stats.value("dual_issue_cycles"))
+            accounted = (issue_cycles + stats.value("cycles_idle")
+                         + sum(self._causes(stats).values()))
+            assert accounted == stats.value("cycles_total"), name
+
+    def test_flush_is_not_double_booked(self, dmr_results):
+        for name, result in dmr_results.items():
+            counters = result.stats.counters()
+            assert "replayq_flush_cycles" not in counters, name
+
+
 class TestCoverageAccounting:
     def test_verified_never_exceeds_eligible(self, dmr_results):
         for name, result in dmr_results.items():

@@ -1,0 +1,124 @@
+"""Cross-process aggregation acceptance tests.
+
+The tentpole determinism guarantees, asserted end to end on real
+simulations: a parallel suite and a parallel fault campaign must
+aggregate to snapshots *byte-identical* (``canonical_json``) to their
+serial runs, warm cache hits must replay the metrics they were stored
+with, and the obs flag must never alias obs-off cache entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.result_cache import result_key
+from repro.analysis.runner import (
+    SuiteRunner,
+    aggregate_metrics,
+    experiment_config,
+)
+from repro.common.config import DMRConfig, GPUConfig
+from repro.faults.campaign import CampaignEngine, CampaignSpec
+from repro.faults.sampler import FaultSampler
+from repro.workloads import PAPER_ORDER
+
+SCALE = 0.25
+
+
+def make_runner(**kwargs) -> SuiteRunner:
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("obs", True)
+    return SuiteRunner(experiment_config(num_sms=2), **kwargs)
+
+
+class TestSuiteAggregation:
+    def test_parallel_suite_aggregates_byte_identical(self):
+        """Acceptance: run_suite(parallel=4) merges to the serial bytes."""
+        dmr = DMRConfig.paper_default()
+        serial = make_runner().run_suite(dmr)
+        parallel = make_runner().run_suite(dmr, parallel=4)
+        expected = aggregate_metrics(serial[name] for name in PAPER_ORDER)
+        actual = aggregate_metrics(parallel[name] for name in PAPER_ORDER)
+        assert not expected.is_empty
+        assert actual.canonical_json() == expected.canonical_json()
+
+    def test_aggregate_carries_pipeline_metrics(self):
+        results = make_runner().run_suite(DMRConfig.paper_default())
+        snapshot = aggregate_metrics(results.values())
+        assert snapshot.value("dmr_pair_intra") > 0
+        registry = snapshot.to_registry()
+        assert registry.gauge("warp_occupancy").count > 0
+        occupancy = dict(registry.to_payload())["fixed_histograms"]
+        assert any(h["name"] == "warp_occupancy" for h in occupancy)
+
+    def test_obs_off_results_aggregate_to_empty(self):
+        runner = make_runner(obs=False)
+        results = runner.run_suite(DMRConfig.disabled())
+        for result in results.values():
+            assert result.obs is None
+        assert aggregate_metrics(results.values()).is_empty
+
+
+class TestCacheReplay:
+    def test_warm_hit_replays_metrics(self, tmp_path):
+        cold = make_runner(cache=tmp_path)
+        first = cold.run("scan", DMRConfig.paper_default())
+        assert first.obs is not None
+
+        warm = make_runner(cache=tmp_path)
+        second = warm.run("scan", DMRConfig.paper_default())
+        assert warm.simulations == 0
+        assert second.obs == first.obs
+
+    def test_obs_flag_is_part_of_the_key(self):
+        dmr = DMRConfig.disabled()
+        config = experiment_config(num_sms=2)
+        assert (result_key("scan", dmr, config, SCALE, 0, True, obs=True)
+                != result_key("scan", dmr, config, SCALE, 0, True, obs=False))
+
+    def test_obs_off_runner_never_served_an_obs_result(self, tmp_path):
+        make_runner(cache=tmp_path).baseline("scan")
+        plain = make_runner(cache=tmp_path, obs=False)
+        result = plain.baseline("scan")
+        assert plain.simulations == 1, "obs entry must not alias obs-off"
+        assert result.obs is None
+
+
+class TestCampaignAggregation:
+    @pytest.fixture(scope="class")
+    def spec(self) -> CampaignSpec:
+        return CampaignSpec(workload="scan", config=GPUConfig.small(1),
+                            dmr=DMRConfig.paper_default(), scale=SCALE,
+                            obs=True)
+
+    @pytest.fixture(scope="class")
+    def faults(self, spec):
+        horizon = CampaignEngine(spec).golden_result().cycles
+        return FaultSampler(spec.config, windows=2).sample(200, horizon,
+                                                           seed=3)
+
+    def test_200_fault_campaign_parallel_byte_identical(self, spec, faults):
+        """Acceptance: a 200-fault parallel campaign merges to the
+        serial bytes."""
+        serial = CampaignEngine(spec).run(faults)
+        parallel = CampaignEngine(spec, jobs=4).run(faults)
+        expected = serial.metrics()
+        assert not expected.is_empty
+        assert (parallel.metrics().canonical_json()
+                == expected.canonical_json())
+
+    def test_campaign_cache_replays_metrics(self, spec, faults, tmp_path):
+        subset = faults[:10]
+        cold = CampaignEngine(spec, cache=tmp_path)
+        first = cold.run(subset).metrics()
+
+        warm = CampaignEngine(spec, cache=tmp_path)
+        second = warm.run(subset).metrics()
+        assert warm.simulations == 0
+        assert second.canonical_json() == first.canonical_json()
+
+    def test_golden_baseline_stays_obs_free(self, spec, tmp_path):
+        """The golden run is shared with obs-off users, so it must not
+        embed a snapshot even in an obs-on campaign."""
+        engine = CampaignEngine(spec, cache=tmp_path)
+        assert engine.golden_result().obs is None

@@ -1,0 +1,134 @@
+"""Property tests for snapshot merge algebra.
+
+``run_suite(parallel=N)`` and the campaign engine fold worker snapshots
+in whatever order completes; determinism therefore rests on ``merge``
+being associative and commutative with the empty snapshot as identity.
+These properties are asserted over randomly generated registries, with
+byte-level equality (``canonical_json``) as the judge — the same
+currency the serial-vs-parallel acceptance tests use.
+
+Gauge totals and histogram keys are generated as ints only: float
+addition is not associative, and the merge contract is exact-bytes, not
+approximately-equal.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    FixedHistogram,
+    MetricSnapshot,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+names = st.sampled_from(
+    ["cycles_total", "dmr_pair_intra", "stall_raw", "warp_occupancy"]
+)
+amounts = st.integers(min_value=0, max_value=1 << 20)
+values = st.integers(min_value=-(1 << 16), max_value=1 << 16)
+
+#: one bucket layout per histogram name, so merges never face a
+#: bounds mismatch (mismatches are a hard error, tested separately)
+BOUNDS = {
+    "cycles_total": (1, 4, 16),
+    "dmr_pair_intra": (0, 2, 8, 32),
+    "stall_raw": (10,),
+    "warp_occupancy": (0, 1, 2, 4, 8, 16, 32),
+}
+
+write = st.one_of(
+    st.tuples(st.just("inc"), names, amounts),
+    st.tuples(st.just("observe"), names, values),
+    st.tuples(st.just("set_gauge"), names, values),
+    st.tuples(st.just("sample"), names, values),
+)
+
+
+@st.composite
+def snapshots(draw):
+    registry = MetricsRegistry()
+    for op, name, value in draw(st.lists(write, max_size=20)):
+        if op == "inc":
+            registry.inc(name, value)
+        elif op == "observe":
+            registry.observe(name, value)
+        elif op == "set_gauge":
+            registry.set_gauge(name, value)
+        else:
+            registry.sample(name, BOUNDS[name], value)
+    return registry.snapshot()
+
+
+def canon(snapshot: MetricSnapshot) -> str:
+    return snapshot.canonical_json()
+
+
+class TestMergeAlgebra:
+    @given(snapshots(), snapshots(), snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_associative(self, a, b, c):
+        assert canon(a.merge(b).merge(c)) == canon(a.merge(b.merge(c)))
+
+    @given(snapshots(), snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_commutative(self, a, b):
+        assert canon(a.merge(b)) == canon(b.merge(a))
+
+    @given(snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_empty_is_identity(self, a):
+        empty = MetricSnapshot.empty()
+        assert canon(a.merge(empty)) == canon(a)
+        assert canon(empty.merge(a)) == canon(a)
+
+    @given(st.lists(snapshots(), max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_fold_equals_pairwise(self, snaps):
+        folded = merge_snapshots(snaps)
+        pairwise = MetricSnapshot.empty()
+        for snap in snaps:
+            pairwise = pairwise.merge(snap)
+        assert canon(folded) == canon(pairwise)
+
+    @given(snapshots(), snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_does_not_mutate_inputs(self, a, b):
+        before_a, before_b = canon(a), canon(b)
+        a.merge(b)
+        assert canon(a) == before_a
+        assert canon(b) == before_b
+
+
+class TestBucketPreservation:
+    @given(
+        st.lists(values, max_size=50),
+        st.lists(values, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_preserves_total_count(self, left, right):
+        bounds = (0, 4, 16, 64)
+        a = FixedHistogram("depth", bounds)
+        b = FixedHistogram("depth", bounds)
+        for v in left:
+            a.add(v)
+        for v in right:
+            b.add(v)
+        a.merge(b)
+        assert a.total == len(left) + len(right)
+        assert sum(a.counts) == a.total
+
+    @given(st.lists(values, max_size=50), st.lists(values, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_union_fill(self, left, right):
+        bounds = (0, 4, 16, 64)
+        merged = FixedHistogram("depth", bounds)
+        union = FixedHistogram("depth", bounds)
+        other = FixedHistogram("depth", bounds)
+        for v in left:
+            merged.add(v)
+        for v in right:
+            other.add(v)
+        merged.merge(other)
+        for v in left + right:
+            union.add(v)
+        assert merged.counts == union.counts

@@ -1,0 +1,99 @@
+"""Tests for the Chrome trace_event exporter."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import Tracer
+
+
+class TestEventShapes:
+    def test_duration_event(self):
+        t = Tracer()
+        t.duration(0, 3, "IADD", ts=10, dur=1, args={"pc": 4})
+        (event,) = t.to_payload()["traceEvents"]
+        assert event["ph"] == "X"
+        assert (event["pid"], event["tid"]) == (0, 3)
+        assert (event["ts"], event["dur"]) == (10, 1)
+        assert event["args"] == {"pc": 4}
+
+    def test_instant_event_is_thread_scoped(self):
+        t = Tracer()
+        t.instant(1, 2, "intra-DMR", ts=5)
+        (event,) = t.to_payload()["traceEvents"]
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+        assert "args" not in event
+
+    def test_counter_event(self):
+        t = Tracer()
+        t.counter(0, "ReplayQ depth", ts=7, values={"entries": 3})
+        (event,) = t.to_payload()["traceEvents"]
+        assert event["ph"] == "C"
+        assert event["args"] == {"entries": 3}
+
+    def test_len_counts_events_not_metadata(self):
+        t = Tracer()
+        t.process_name(0, "SM 0")
+        t.instant(0, 0, "x", ts=0)
+        assert len(t) == 1
+
+
+class TestTrackNaming:
+    def test_metadata_precedes_events(self):
+        t = Tracer()
+        t.instant(0, 1, "x", ts=0)
+        t.process_name(0, "SM 0")
+        t.thread_name(0, 1, "warp 1")
+        events = t.to_payload()["traceEvents"]
+        assert [e["ph"] for e in events] == ["M", "M", "i"]
+        assert events[0]["args"] == {"name": "SM 0"}
+
+    def test_naming_is_idempotent(self):
+        t = Tracer()
+        for _ in range(3):
+            t.process_name(0, "SM 0")
+            t.thread_name(0, 1, "warp 1")
+        assert len(t.to_payload()["traceEvents"]) == 2
+
+
+class TestCap:
+    def test_cap_drops_and_counts(self):
+        t = Tracer(max_events=2)
+        for ts in range(5):
+            t.instant(0, 0, "x", ts=ts)
+        assert len(t) == 2
+        assert t.dropped == 3
+        assert t.to_payload()["otherData"]["dropped_events"] == 3
+
+    def test_metadata_exempt_from_cap(self):
+        t = Tracer(max_events=1)
+        t.instant(0, 0, "x", ts=0)
+        t.instant(0, 0, "y", ts=1)  # dropped
+        t.process_name(0, "SM 0")   # still recorded
+        events = t.to_payload()["traceEvents"]
+        assert [e["ph"] for e in events] == ["M", "i"]
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+
+class TestExport:
+    def test_dumps_is_valid_json(self):
+        t = Tracer()
+        t.duration(0, 0, "LD", ts=0, dur=1)
+        payload = json.loads(t.dumps({"workload": "matrixmul"}))
+        assert payload["otherData"]["workload"] == "matrixmul"
+        assert payload["otherData"]["dropped_events"] == 0
+        assert payload["displayTimeUnit"] == "ns"
+
+    def test_write_roundtrip(self, tmp_path):
+        t = Tracer()
+        t.instant(2, 7, "stall:raw", ts=42, cat="stall")
+        path = tmp_path / "trace.json"
+        t.write(str(path))
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        (event,) = loaded["traceEvents"]
+        assert event["name"] == "stall:raw"
+        assert (event["pid"], event["tid"], event["ts"]) == (2, 7, 42)

@@ -84,6 +84,71 @@ class TestFigureCacheAndJobs:
         assert f"disk-hits={expected_hits}" in warm.err
 
 
+class TestTrace:
+    def test_writes_loadable_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "scan", "--scale", "0.25",
+                     "--out", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        assert "trace events" in captured.out
+        assert str(out_path) in captured.err
+
+        trace = json.loads(out_path.read_text(encoding="utf-8"))
+        events = trace["traceEvents"]
+        assert events
+        phases = {event["ph"] for event in events}
+        assert {"M", "X"} <= phases
+        assert trace["otherData"]["workload"] == "scan"
+        assert trace["otherData"]["dropped_events"] == 0
+
+    def test_matmul_alias_resolves(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "matmul", "--scale", "0.25",
+                     "--out", str(out_path)]) == 0
+        import json
+
+        trace = json.loads(out_path.read_text(encoding="utf-8"))
+        assert trace["otherData"]["workload"] == "matrixmul"
+
+    def test_event_cap_reported(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "scan", "--scale", "0.25",
+                     "--max-events", "10", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cap 10" in out
+        assert "dropped 0" not in out
+
+
+class TestMetrics:
+    def test_single_workload_snapshot(self, capsys):
+        assert main(["metrics", "scan", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "Counters: scan" in out
+        assert "dmr_pair_intra" in out
+        assert "warp_occupancy" in out
+        assert "replayq_depth" in out
+
+    def test_no_dmr_drops_pairing_counters(self, capsys):
+        assert main(["metrics", "scan", "--scale", "0.25",
+                     "--no-dmr"]) == 0
+        out = capsys.readouterr().out
+        assert "dmr_pair_intra" not in out
+        assert "warp_occupancy" in out
+
+
+class TestFigure9bStalls:
+    def test_stall_attribution_table(self, capsys):
+        assert main(["figure", "fig9b-stalls", "--scale", "0.25",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        for cause in ("raw", "replay", "bank", "flush"):
+            assert cause in out
+        assert "inf" in out  # the unbounded-queue column
+
+
 class TestInject:
     def test_stuck_at_injection(self, capsys):
         assert main([

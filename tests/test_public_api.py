@@ -13,7 +13,7 @@ class TestTopLevelExports:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_key_types_importable_from_top(self):
         from repro import (
@@ -27,7 +27,7 @@ class TestSubpackageExports:
     @pytest.mark.parametrize("module", [
         "repro.common", "repro.isa", "repro.kernel", "repro.sim",
         "repro.core", "repro.faults", "repro.baselines", "repro.power",
-        "repro.workloads", "repro.analysis",
+        "repro.workloads", "repro.analysis", "repro.obs",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)
@@ -49,6 +49,25 @@ class TestSubpackageExports:
                     offenders.append(f"{path.name}:{line_number}")
         assert not offenders, offenders
 
+    def test_obs_imports_stdlib_only(self):
+        """Layering rule: ``repro.obs`` sits below the simulator — it
+        may import nothing from the package beyond its own modules, so
+        any component (sim, core, analysis, faults) can depend on it
+        without cycles."""
+        import pathlib
+
+        import repro.obs
+        obs_dir = pathlib.Path(repro.obs.__file__).parent
+        offenders = []
+        for path in obs_dir.glob("*.py"):
+            for line_number, line in enumerate(path.read_text().splitlines(), 1):
+                stripped = line.strip()
+                if (stripped.startswith(("from repro.", "import repro."))
+                        and not stripped.startswith(("from repro.obs",
+                                                     "import repro.obs"))):
+                    offenders.append(f"{path.name}:{line_number}")
+        assert not offenders, offenders
+
 
 class TestDocstrings:
     @pytest.mark.parametrize("module", [
@@ -61,6 +80,8 @@ class TestDocstrings:
         "repro.baselines.schemes", "repro.baselines.sampling",
         "repro.sim.regbank", "repro.power.model", "repro.workloads.base",
         "repro.analysis.runner", "repro.__main__",
+        "repro.obs", "repro.obs.metrics", "repro.obs.probes",
+        "repro.obs.tracer",
     ])
     def test_module_docstrings_present(self, module):
         mod = importlib.import_module(module)
