@@ -28,7 +28,15 @@ Commands
 ``metrics [WORKLOAD]``
     Run one workload (or the whole suite) with the metrics registry on
     and print the aggregated snapshot: counters, stall-cause
-    attribution, occupancy/queue-depth distributions.
+    attribution, occupancy/queue-depth distributions — plus the
+    harness's own resilience counters (retries, timeouts, pool
+    rebuilds, cache quarantines).
+``chaos [WORKLOAD]``
+    Prove the supervision layer: run a fault campaign while injecting
+    harness-level chaos (SIGKILL a worker, oversleep the deadline,
+    raise in workers/initializers, corrupt cache entries) and verify
+    the result is byte-identical to an unfaulted serial run.  Exits
+    nonzero on any lost or divergent classification.
 """
 
 from __future__ import annotations
@@ -245,6 +253,7 @@ def cmd_campaign(args) -> int:
             "low": low,
             "high": high,
         },
+        "resilience": dict(engine.harness.counters()),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -323,6 +332,10 @@ def cmd_metrics(args) -> int:
         results = runner.run_suite(dmr, parallel=args.jobs)
     snapshot = aggregate_metrics(results.values())
     registry = snapshot.to_registry()
+    # fold in the harness's own supervision counters (retries,
+    # timeouts, pool rebuilds, cache quarantines) so one table shows
+    # both what the simulator did and what the fleet absorbed
+    registry.merge(runner.harness)
 
     scope = args.workload or f"suite ({len(results)} workloads)"
     print(format_table(
@@ -346,6 +359,50 @@ def cmd_metrics(args) -> int:
         ))
     print(runner.cache_summary(), file=sys.stderr)
     return 0
+
+
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.resilience.chaos import run_campaign_chaos
+
+    report = run_campaign_chaos(
+        workload=args.workload, samples=args.samples,
+        parallel=args.parallel, kills=args.kills, sleeps=args.sleeps,
+        raises=args.raises, init_raises=args.init_raises,
+        corrupt=args.corrupt, corrupt_mode=args.corrupt_mode,
+        scale=args.scale, seed=args.seed, sms=args.sms,
+        task_deadline=args.task_deadline,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    counters = report.counters
+    print(f"chaos scenario    : {args.workload} samples={args.samples} "
+          f"parallel={args.parallel} kills={args.kills} "
+          f"sleeps={args.sleeps} raises={args.raises} "
+          f"init-raises={args.init_raises} "
+          f"corrupt={args.corrupt}({args.corrupt_mode})")
+    print(f"events fired      : {report.events_fired} "
+          f"(pending {report.events_pending})")
+    print("outcomes          : " + "  ".join(
+        f"{name}={count}" for name, count in report.outcomes.items()))
+    print(f"resilience        : "
+          f"retries={counters.get('resilience_retries', 0)} "
+          f"timeouts={counters.get('resilience_timeouts', 0)} "
+          f"pool-rebuilds={counters.get('resilience_pool_rebuilds', 0)} "
+          f"worker-failures={counters.get('resilience_worker_failures', 0)}")
+    print(f"cache integrity   : "
+          f"corrupt={counters.get('cache_corrupt_entries', 0)} "
+          f"quarantined={counters.get('cache_quarantined', 0)} "
+          f"(simulations={report.simulations})")
+    verdict = "PASS" if report.matched else "FAIL"
+    print(f"byte-identity     : {verdict} "
+          f"({report.classifications} classifications vs unfaulted "
+          f"serial run)")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report.matched else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -452,6 +509,42 @@ def build_parser() -> argparse.ArgumentParser:
                               help="trace JSON path (default "
                                    "TRACE_<workload>.json)")
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="chaos-test the supervised campaign harness")
+    chaos_parser.add_argument("workload", nargs="?", default="scan")
+    chaos_parser.add_argument("--samples", type=int, default=200,
+                              help="faults in the campaign (default 200)")
+    chaos_parser.add_argument("--parallel", type=int, default=2,
+                              metavar="N",
+                              help="worker processes (default 2)")
+    chaos_parser.add_argument("--kills", type=int, default=1,
+                              help="workers to SIGKILL mid-task "
+                                   "(default 1)")
+    chaos_parser.add_argument("--sleeps", type=int, default=0,
+                              help="tasks that oversleep their deadline "
+                                   "(requires --task-deadline)")
+    chaos_parser.add_argument("--raises", type=int, default=0,
+                              help="tasks that raise a transient "
+                                   "exception once")
+    chaos_parser.add_argument("--init-raises", type=int, default=0,
+                              help="pool initializers that raise once")
+    chaos_parser.add_argument("--corrupt", type=int, default=1,
+                              help="cache entries to corrupt (default 1)")
+    chaos_parser.add_argument("--corrupt-mode",
+                              choices=("truncate", "bitflip"),
+                              default="truncate")
+    chaos_parser.add_argument("--task-deadline", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-chunk wall-clock deadline "
+                                   "(chaos sleeps are sized to 3x this)")
+    chaos_parser.add_argument("--scale", type=float, default=0.5)
+    chaos_parser.add_argument("--sms", type=int, default=1)
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument("--out", default="CHAOS_report.json",
+                              metavar="PATH",
+                              help="JSON report path (default "
+                                   "CHAOS_report.json)")
+
     metrics_parser = sub.add_parser(
         "metrics", help="print the aggregated metrics snapshot")
     metrics_parser.add_argument("workload", nargs="?", default=None,
@@ -475,6 +568,7 @@ def main(argv=None) -> int:
         "bench": cmd_bench,
         "campaign": cmd_campaign,
         "trace": cmd_trace,
+        "chaos": cmd_chaos,
         "metrics": cmd_metrics,
     }[args.command]
     return handler(args)

@@ -13,6 +13,16 @@ Invalidation is by construction: any config field change alters the
 fingerprint (see :func:`repro.common.config.config_fingerprint`), and
 bumping :data:`CACHE_SCHEMA_VERSION` or the package version salts every
 key, orphaning stale entries rather than ever serving them.
+
+Integrity (schema 2): every entry is written as a 36-byte header —
+magic ``RPC2`` plus the SHA-256 of the pickled payload — followed by
+the payload itself, atomically (temp file + ``os.replace``).  A read
+whose bytes fail the checksum (truncated write, bit rot, a foreign
+file) is *quarantined* — moved into a ``quarantine/`` subdirectory,
+counted on the cache object and in the harness metrics registry — and
+reported as a miss so the caller transparently recomputes.  Corruption
+is therefore detected, bounded, and visible, never silently re-served
+or silently discarded.
 """
 
 from __future__ import annotations
@@ -26,11 +36,19 @@ from typing import Optional
 
 from repro.common.config import DMRConfig, GPUConfig, config_fingerprint
 from repro.common.errors import ConfigError
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.sim.gpu import KernelResult
 
 #: Bump when the cached payload layout or simulator semantics change in
-#: a way not captured by any configuration field.
-CACHE_SCHEMA_VERSION = 1
+#: a way not captured by any configuration field.  2 = checksummed
+#: entry format (magic + SHA-256 header).
+CACHE_SCHEMA_VERSION = 2
+
+#: Entry-format magic; the 2 matches :data:`CACHE_SCHEMA_VERSION`.
+ENTRY_MAGIC = b"RPC2"
+
+#: Header layout: 4-byte magic + 32-byte SHA-256 over the payload bytes.
+_HEADER_SIZE = len(ENTRY_MAGIC) + hashlib.sha256().digest_size
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -86,37 +104,92 @@ class ResultCache:
     kinds share one directory because the SHA-256 keys are already
     domain-salted by their material.
 
-    Reads tolerate missing/corrupt/stale files (treated as misses) and
-    writes are atomic (temp file + rename), so concurrent runners and
-    parallel workers can share one directory safely.
+    Reads verify the per-entry checksum: corrupt or truncated files are
+    quarantined (moved aside, counted, reported as misses) and writes
+    are atomic (temp file + ``os.replace``), so concurrent runners and
+    parallel workers can share one directory safely.  ``registry``
+    receives the ``cache_corrupt_entries`` / ``cache_quarantined``
+    counters; the supervision layer passes its harness registry here so
+    ``python -m repro metrics`` surfaces cache integrity events.
     """
 
-    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir \
             else default_cache_dir()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> pathlib.Path:
         return self.cache_dir / f"{key}.pkl"
 
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self.cache_dir / "quarantine"
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry aside so it can never be re-served.
+
+        Best-effort: a concurrent reader may quarantine the same file
+        first, and a read-only cache directory degrades to miss-only
+        behavior — either way the caller recomputes.
+        """
+        self.corrupt += 1
+        self.registry.inc("cache_corrupt_entries")
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            return
+        self.quarantined += 1
+        self.registry.inc("cache_quarantined")
+
     def get_payload(self, key: str) -> Optional[object]:
-        """The cached plain-data payload for *key*, or ``None`` on miss."""
+        """The cached plain-data payload for *key*, or ``None`` on miss.
+
+        A present-but-corrupt entry (bad magic, failed checksum,
+        unpicklable bytes) is quarantined and counts as a miss.
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, KeyError,
-                TypeError, AttributeError, ValueError):
+                raw = handle.read()
+        except OSError:
+            self.misses += 1
+            return None
+        digest = raw[len(ENTRY_MAGIC):_HEADER_SIZE]
+        blob = raw[_HEADER_SIZE:]
+        if (len(raw) < _HEADER_SIZE or raw[:len(ENTRY_MAGIC)] != ENTRY_MAGIC
+                or hashlib.sha256(blob).digest() != digest):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+        except (pickle.UnpicklingError, EOFError, KeyError, TypeError,
+                AttributeError, ValueError, MemoryError):
+            # checksum-valid yet unpicklable means the *writer* stored
+            # garbage; quarantine it all the same
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
     def put_payload(self, key: str, payload: object) -> None:
-        """Store a plain-data *payload* under *key* atomically."""
+        """Store a plain-data *payload* under *key* atomically.
+
+        The entry only becomes visible via ``os.replace`` once its
+        checksummed bytes are fully written, so readers never observe a
+        partial entry; an interrupted writer leaves (at worst) a temp
+        file that is swept aside, never a truncated entry.
+        """
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         except (FileExistsError, NotADirectoryError) as error:
@@ -124,20 +197,31 @@ class ResultCache:
                 f"result-cache path {self.cache_dir} is not a directory"
             ) from error
         path = self._path(key)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        header = ENTRY_MAGIC + hashlib.sha256(blob).digest()
         fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir,
                                         suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(header)
+                handle.write(blob)
             os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+        except (KeyboardInterrupt, SystemExit):
+            # interrupts must propagate unswallowed — but still sweep
+            # the temp file so an aborted run cannot litter the cache
+            self._discard_tmp(tmp_name)
+            raise
+        except Exception:
+            self._discard_tmp(tmp_name)
             raise
         self.stores += 1
+
+    @staticmethod
+    def _discard_tmp(tmp_name: str) -> None:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
 
     def get(self, key: str) -> Optional[KernelResult]:
         """The cached :class:`KernelResult` for *key*, or ``None``."""
@@ -180,4 +264,5 @@ class ResultCache:
 
     def __repr__(self) -> str:
         return (f"ResultCache({str(self.cache_dir)!r}, hits={self.hits}, "
-                f"misses={self.misses}, stores={self.stores})")
+                f"misses={self.misses}, stores={self.stores}, "
+                f"corrupt={self.corrupt})")

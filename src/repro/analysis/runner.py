@@ -20,13 +20,14 @@ determinism tests can compare results byte-for-byte.
 
 from __future__ import annotations
 
-import concurrent.futures
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.result_cache import ResultCache, result_key
 from repro.common.config import DMRConfig, GPUConfig
 from repro.obs import MetricSnapshot, aggregate_payloads
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import Supervisor, declare_harness_metrics
 from repro.sim.gpu import GPU, KernelResult
 from repro.workloads import all_workloads, get_workload
 
@@ -66,8 +67,9 @@ def default_jobs() -> int:
     return max(1, min(4, cpus))
 
 
-def pool_map(fn, args: Sequence, workers: int) -> List:
-    """Map *fn* over *args* in a worker-process pool, preserving order.
+def pool_map(fn, args: Sequence, workers: int, *,
+             supervisor: Optional[Supervisor] = None) -> List:
+    """Map *fn* over *args* in a supervised worker pool, preserving order.
 
     The shared fan-out primitive for everything that scales by adding
     simulations — suite runs and fault campaigns both route their cache
@@ -75,12 +77,14 @@ def pool_map(fn, args: Sequence, workers: int) -> List:
     any multiprocessing start method) and should return plain data so
     the IPC never depends on simulator classes unpickling identically.
     With ``workers <= 1`` (or one task) the map runs in-process.
+
+    Since PR 5 this is a thin front on
+    :class:`repro.resilience.Supervisor`: worker deaths, broken pools
+    and flaky exceptions retry with backoff instead of killing the
+    whole map.  Pass a configured *supervisor* to add deadlines, a
+    custom retry policy, or metrics accounting.
     """
-    if workers <= 1 or len(args) <= 1:
-        return [fn(arg) for arg in args]
-    workers = min(workers, len(args))
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, args))
+    return (supervisor or Supervisor()).map(fn, args, workers)
 
 
 def _simulate_payload(args: Tuple[str, DMRConfig, GPUConfig, float, int,
@@ -137,6 +141,14 @@ class SuiteRunner:
     include it: the engines are bit-identical by contract (enforced by
     the differential suite), so their results are interchangeable.
     Benchmarks that time a specific engine must disable the cache.
+
+    Fan-outs are supervised (:mod:`repro.resilience`): worker deaths,
+    broken pools and flaky exceptions retry with deterministic backoff,
+    and every such event lands in this runner's *harness registry*
+    (:meth:`harness_snapshot`).  Pass a ready ``supervisor`` to
+    customize the policy (the chaos harness does); otherwise one is
+    built over the harness registry, with ``deadline`` seconds (if
+    given) bounding each supervised task's wall clock.
     """
 
     def __init__(self, config: Optional[GPUConfig] = None,
@@ -145,7 +157,9 @@ class SuiteRunner:
                  cache: Union[None, bool, str, os.PathLike,
                               ResultCache] = None,
                  jobs: int = 1, engine: Optional[str] = None,
-                 obs: bool = False) -> None:
+                 obs: bool = False,
+                 supervisor: Optional[Supervisor] = None,
+                 deadline: Optional[float] = None) -> None:
         self.config = config or experiment_config()
         self.scale = scale
         self.seed = seed
@@ -154,12 +168,20 @@ class SuiteRunner:
         self.obs = bool(obs)
         self.jobs = max(1, jobs)
         self._cache: Dict[str, KernelResult] = {}
+        if supervisor is not None:
+            self.supervisor = supervisor
+            self.harness = supervisor.registry
+        else:
+            self.harness = declare_harness_metrics(MetricsRegistry())
+            self.supervisor = Supervisor(registry=self.harness,
+                                         deadline=deadline)
         if isinstance(cache, ResultCache):
             self.persistent_cache: Optional[ResultCache] = cache
         elif cache is True:
-            self.persistent_cache = ResultCache()
+            self.persistent_cache = ResultCache(registry=self.harness)
         elif cache:
-            self.persistent_cache = ResultCache(cache)
+            self.persistent_cache = ResultCache(cache,
+                                                registry=self.harness)
         else:
             self.persistent_cache = None
         self.simulations = 0  # runs actually executed (locally or in a pool)
@@ -249,7 +271,7 @@ class SuiteRunner:
             args = [(name, dmr, config, self.scale, self.seed,
                      self.check_outputs, self.engine, self.obs)
                     for name, dmr, config in (spec for _, spec in order)]
-            payloads = pool_map(_simulate_payload, args, workers)
+            payloads = self.supervisor.map(_simulate_payload, args, workers)
             for (key, _), payload in zip(order, payloads):
                 self.simulations += 1
                 self._store(key, KernelResult.from_payload(payload))
@@ -280,6 +302,11 @@ class SuiteRunner:
         return dict(zip(names, results))
 
     # ------------------------------------------------------------------
+    def harness_snapshot(self) -> MetricSnapshot:
+        """Supervision counters (retries, timeouts, pool rebuilds,
+        cache corruption/quarantines) accumulated by this runner."""
+        return MetricSnapshot.from_registry(self.harness)
+
     def cache_summary(self) -> str:
         """One-line accounting, printed to stderr by the CLI."""
         memory_entries = len(self._cache)
@@ -289,5 +316,17 @@ class SuiteRunner:
             pc = self.persistent_cache
             parts.append(f"disk-hits={pc.hits}")
             parts.append(f"disk-stores={pc.stores}")
+            if pc.corrupt:
+                parts.append(f"corrupt={pc.corrupt}")
+                parts.append(f"quarantined={pc.quarantined}")
             parts.append(f"dir={pc.cache_dir}")
+        retries = self.harness.value("resilience_retries")
+        if retries:
+            parts.append(f"retries={retries}")
+        timeouts = self.harness.value("resilience_timeouts")
+        if timeouts:
+            parts.append(f"timeouts={timeouts}")
+        rebuilds = self.harness.value("resilience_pool_rebuilds")
+        if rebuilds:
+            parts.append(f"pool-rebuilds={rebuilds}")
         return "cache: " + " ".join(parts)

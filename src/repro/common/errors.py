@@ -31,3 +31,54 @@ class FaultInjectionError(ReproError):
 class DMRViolation(ReproError):
     """An internal Warped-DMR invariant was broken (e.g. a verifier lane
     paired with an active lane outside its SIMT cluster)."""
+
+
+class HarnessError(ReproError):
+    """The execution harness itself failed (not the simulated kernel).
+
+    The supervision layer (:mod:`repro.resilience`) classifies every
+    fan-out failure into one of the subclasses below, mirroring how the
+    simulator classifies injected faults: transient failures retry,
+    deterministic ones fail fast, and a task that keeps failing is
+    reported as poisoned instead of wedging the fleet.
+    """
+
+
+class TransientWorkerFailure(HarnessError):
+    """A worker failed in a way that is expected to heal on retry: the
+    process died (OOM kill, crash), the pool broke, or the task raised
+    a non-deterministic exception.  The supervisor retries these with
+    exponential backoff up to the policy's attempt budget."""
+
+
+class TaskTimeout(TransientWorkerFailure):
+    """A task exceeded its wall-clock deadline.
+
+    Structured — carries ``deadline`` and ``elapsed`` seconds — so a
+    hung simulation surfaces as a reportable failure instead of
+    wedging the campaign.  Timeouts are transient (the worker may have
+    been descheduled), so they retry before poisoning the task.
+    """
+
+    def __init__(self, message: str, deadline: float = 0.0,
+                 elapsed: float = 0.0) -> None:
+        super().__init__(message)
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+class PermanentSimFailure(HarnessError):
+    """A task failed deterministically (a :class:`ReproError` or failed
+    output check escaped the worker).  Retrying cannot help, so the
+    supervisor fails fast instead of burning the attempt budget."""
+
+
+class PoisonedTask(HarnessError):
+    """A task exhausted its retry budget.  The original failure rides
+    along as ``__cause__``; ``attempts`` records how many were made."""
+
+    def __init__(self, message: str, index: int = -1,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.index = index
+        self.attempts = attempts

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -45,13 +46,17 @@ from repro.common.config import DMRConfig, GPUConfig, config_fingerprint
 from repro.common.stats import binomial_interval
 from repro.faults.injector import FaultInjector
 from repro.faults.models import Fault, fault_from_payload, fault_to_payload
+# the watchdog calibration lives in repro.resilience.deadline since PR 5;
+# these re-exports keep the historical public names importable from here
+from repro.resilience.deadline import (  # noqa: F401  (re-exported API)
+    DEFAULT_MAX_FAULTY_CYCLES,
+    DEFAULT_WATCHDOG_FACTOR,
+    DEFAULT_WATCHDOG_SLACK,
+    cycle_budget,
+    wall_budget,
+)
 from repro.sim.gpu import GPU, KernelResult
 from repro.sim.memory import GlobalMemory
-
-#: default watchdog parameters (shared by both harnesses)
-DEFAULT_WATCHDOG_FACTOR = 8
-DEFAULT_WATCHDOG_SLACK = 5_000
-DEFAULT_MAX_FAULTY_CYCLES = 500_000
 
 
 class Outcome(enum.Enum):
@@ -188,20 +193,6 @@ def classify(detections: int, corrupt: bool) -> Outcome:
     if corrupt:
         return Outcome.SDC
     return Outcome.MASKED
-
-
-def cycle_budget(golden_cycles: int,
-                 factor: int = DEFAULT_WATCHDOG_FACTOR,
-                 slack: int = DEFAULT_WATCHDOG_SLACK,
-                 cap: int = DEFAULT_MAX_FAULTY_CYCLES) -> int:
-    """Watchdog budget for one faulty run.
-
-    Proportional to the golden runtime (a fault can slow a kernel —
-    extra divergence, longer convergence loops — but not by ~an order
-    of magnitude without being livelocked), plus a fixed slack so tiny
-    kernels aren't budgeted below scheduler-warmup noise.
-    """
-    return max(1, min(cap, factor * golden_cycles + slack))
 
 
 def _outputs_equal(a: Sequence, b: Sequence) -> bool:
@@ -440,24 +431,53 @@ class CampaignEngine:
     in-memory only, ``True`` the default directory, a path, or a ready
     :class:`ResultCache`.  ``jobs`` is the default fan-out for
     :meth:`run`.
+
+    Fan-outs are supervised (:mod:`repro.resilience`): worker deaths
+    retry with backoff, pool collapses rebuild and resubmit only the
+    lost chunks, and corrupt cache entries quarantine and recompute —
+    all counted in the engine's harness registry
+    (:meth:`harness_snapshot`).  ``deadline`` bounds each worker
+    chunk's wall clock: ``"auto"`` (default) calibrates from the
+    measured golden runtime via
+    :func:`repro.resilience.deadline.wall_budget` (no deadline when
+    the golden run came from cache — nothing was timed), a float is
+    taken as seconds *per fault*, ``None`` disables.  A supplied
+    ``supervisor`` wins; if its own deadline is unset the engine's
+    calibration is installed onto it.
     """
 
     def __init__(self, spec: CampaignSpec,
-                 cache=None, jobs: int = 1) -> None:
+                 cache=None, jobs: int = 1,
+                 supervisor=None,
+                 deadline="auto") -> None:
         from repro.analysis.result_cache import ResultCache
+        from repro.obs.metrics import MetricsRegistry
+        from repro.resilience import Supervisor, declare_harness_metrics
 
         self.spec = spec
         self.jobs = max(1, jobs)
+        self._deadline = deadline
+        if supervisor is not None:
+            self.supervisor = supervisor
+            self.harness = supervisor.registry
+            if supervisor.deadline is None:
+                supervisor.deadline = self._task_deadline
+        else:
+            self.harness = declare_harness_metrics(MetricsRegistry())
+            self.supervisor = Supervisor(registry=self.harness,
+                                         deadline=self._task_deadline)
         if isinstance(cache, ResultCache):
             self.persistent_cache: Optional[ResultCache] = cache
         elif cache is True:
-            self.persistent_cache = ResultCache()
+            self.persistent_cache = ResultCache(registry=self.harness)
         elif cache:
-            self.persistent_cache = ResultCache(cache)
+            self.persistent_cache = ResultCache(cache,
+                                                registry=self.harness)
         else:
             self.persistent_cache = None
         self._runs: Dict[str, FaultRun] = {}
         self._golden: Optional[KernelResult] = None
+        self._golden_seconds: Optional[float] = None
         self.simulations = 0  # fault runs actually executed anywhere
 
     # ------------------------------------------------------------------
@@ -483,7 +503,11 @@ class CampaignEngine:
         spec = self.spec
         run = spec.prepare()
         gpu = GPU(spec.config, dmr=DMRConfig.disabled(), engine=spec.engine)
+        started = time.perf_counter()
         result = gpu.launch(run.program, run.launch, memory=run.memory)
+        # the measured fault-free wall time calibrates worker deadlines
+        # (a cache-served golden run leaves this None: nothing was timed)
+        self._golden_seconds = time.perf_counter() - started
         if self.persistent_cache is not None:
             self.persistent_cache.put(key, result)
         self._golden = result
@@ -498,6 +522,27 @@ class CampaignEngine:
         return cycle_budget(self.golden_result().cycles,
                             spec.watchdog_factor, spec.watchdog_slack,
                             spec.max_cycles)
+
+    def _per_fault_seconds(self) -> Optional[float]:
+        """Wall seconds one faulty run is expected to take (or None)."""
+        if self._deadline is None:
+            return None
+        if isinstance(self._deadline, (int, float)):
+            return float(self._deadline)
+        return self._golden_seconds  # "auto": measured, else None
+
+    def _task_deadline(self, args: Tuple) -> Optional[float]:
+        """Supervisor deadline for one worker chunk.
+
+        The chunk's budget scales with how many faults it classifies —
+        the wall-clock analogue of the cycle watchdog, calibrated from
+        the same golden run.
+        """
+        per_fault = self._per_fault_seconds()
+        if per_fault is None:
+            return None
+        faults = args[1]
+        return wall_budget(per_fault * max(1, len(faults)))
 
     # ------------------------------------------------------------------
     def _lookup(self, key: str) -> Optional[FaultRun]:
@@ -538,12 +583,11 @@ class CampaignEngine:
 
         Duplicate faults simulate once; results come back in fault
         order.  With ``parallel`` (or ``self.jobs``) > 1 the misses are
-        chunked across a process pool — each chunk re-derives nothing
-        (spec, golden output and watchdog budget ride along), so
-        workers are pure classify loops.
+        chunked across a supervised process pool — each chunk
+        re-derives nothing (spec, golden output and watchdog budget
+        ride along), so workers are pure classify loops, and the
+        supervisor absorbs worker deaths, hangs and pool collapses.
         """
-        from repro.analysis.runner import pool_map
-
         keys = [fault_run_key(self.spec, fault) for fault in faults]
         missing: Dict[str, Fault] = {}
         for key, fault in zip(keys, faults):
@@ -564,7 +608,8 @@ class CampaignEngine:
             args = [(self.spec, [fault for _, fault in chunk], golden,
                      budget) for chunk in chunks]
             for chunk, payloads in zip(
-                    chunks, pool_map(_campaign_worker, args, workers)):
+                    chunks,
+                    self.supervisor.map(_campaign_worker, args, workers)):
                 for (key, _), payload in zip(chunk, payloads):
                     self._store(key, FaultRun.from_payload(payload))
         else:
@@ -575,6 +620,12 @@ class CampaignEngine:
         return CampaignResult(runs=[self._runs[key] for key in keys])
 
     # ------------------------------------------------------------------
+    def harness_snapshot(self):
+        """Supervision counters (retries, timeouts, pool rebuilds,
+        cache corruption/quarantines) accumulated by this engine."""
+        from repro.obs.metrics import MetricSnapshot
+        return MetricSnapshot.from_registry(self.harness)
+
     def cache_summary(self) -> str:
         """One-line accounting, printed to stderr by the CLI."""
         parts = [f"simulations={self.simulations}",
@@ -583,5 +634,17 @@ class CampaignEngine:
             pc = self.persistent_cache
             parts.append(f"disk-hits={pc.hits}")
             parts.append(f"disk-stores={pc.stores}")
+            if pc.corrupt:
+                parts.append(f"corrupt={pc.corrupt}")
+                parts.append(f"quarantined={pc.quarantined}")
             parts.append(f"dir={pc.cache_dir}")
+        retries = self.harness.value("resilience_retries")
+        if retries:
+            parts.append(f"retries={retries}")
+        timeouts = self.harness.value("resilience_timeouts")
+        if timeouts:
+            parts.append(f"timeouts={timeouts}")
+        rebuilds = self.harness.value("resilience_pool_rebuilds")
+        if rebuilds:
+            parts.append(f"pool-rebuilds={rebuilds}")
         return "campaign-cache: " + " ".join(parts)

@@ -1,0 +1,302 @@
+"""Chaos harness: inject faults into the *harness* and prove recovery.
+
+Warped-DMR injects faults into simulated execution lanes; this module
+injects them into the simulation fleet itself — SIGKILL a worker
+mid-task, sleep past the wall-clock deadline, raise from a worker or a
+pool initializer, truncate or bit-flip persistent-cache entries — and
+asserts the supervised campaign still converges to results
+byte-identical to an unfaulted serial run.
+
+Chaos events live as marker files in a plan directory
+(:class:`ChaosPlan`).  A worker claims an event by atomically renaming
+its marker (``os.replace`` — exactly one claimant wins across
+processes and retries), so each event fires exactly once no matter how
+often its task is retried.  :class:`ChaosWrapper` is the picklable
+``task_wrapper`` the supervisor interposes in front of the real worker
+function; :func:`chaos_initializer` is the pool-initializer flavor.
+
+:func:`run_campaign_chaos` is the scenario driver behind ``python -m
+repro chaos`` and the ``tests/resilience`` acceptance tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.supervisor import Supervisor, declare_harness_metrics
+
+#: worker-side chaos kinds (``init-raise`` fires in the initializer)
+WORKER_KINDS = ("kill", "sleep", "raise")
+
+
+class ChaosFailure(RuntimeError):
+    """The exception injected by ``raise``/``init-raise`` events.
+
+    Deliberately *not* a :class:`~repro.common.errors.ReproError`: the
+    supervisor must classify it transient and retry, exactly like any
+    flaky infrastructure exception.
+    """
+
+
+class ChaosPlan:
+    """A directory of one-shot chaos events.
+
+    Each requested event becomes a marker file ``<kind>-<n>``; claiming
+    renames it to ``<kind>-<n>.done``.  The plan object stays in the
+    parent — workers only ever see the directory path.
+    """
+
+    def __init__(self, plan_dir: os.PathLike, kills: int = 0,
+                 sleeps: int = 0, raises: int = 0,
+                 init_raises: int = 0) -> None:
+        self.plan_dir = str(plan_dir)
+        os.makedirs(self.plan_dir, exist_ok=True)
+        for kind, count in (("kill", kills), ("sleep", sleeps),
+                            ("raise", raises), ("init-raise", init_raises)):
+            for number in range(count):
+                pathlib.Path(self.plan_dir, f"{kind}-{number}").touch()
+
+    def pending(self) -> int:
+        """Events not yet claimed by any worker."""
+        return sum(1 for name in os.listdir(self.plan_dir)
+                   if not name.endswith(".done"))
+
+    def fired(self) -> int:
+        """Events already claimed (and therefore executed)."""
+        return sum(1 for name in os.listdir(self.plan_dir)
+                   if name.endswith(".done"))
+
+
+def claim_event(plan_dir: str,
+                kinds: Sequence[str] = WORKER_KINDS) -> Optional[str]:
+    """Atomically claim one pending event of a kind in *kinds*.
+
+    Returns the claimed kind, or ``None`` if nothing (matching) is
+    pending.  Markers are scanned in sorted order so claims are
+    deterministic up to the race between concurrent claimants — and the
+    rename makes that race safe: exactly one claimant wins each marker.
+    """
+    try:
+        names = sorted(os.listdir(plan_dir))
+    except OSError:
+        return None
+    for name in names:
+        if name.endswith(".done"):
+            continue
+        kind = name.rsplit("-", 1)[0]
+        if kind not in kinds:
+            continue
+        path = os.path.join(plan_dir, name)
+        try:
+            os.replace(path, path + ".done")
+        except OSError:
+            continue  # another claimant won this marker
+        return kind
+    return None
+
+
+class ChaosWrapper:
+    """Picklable worker wrapper that fires pending chaos events.
+
+    Wraps a module-level worker function; on each call it claims at
+    most one worker-side event and acts it out — SIGKILL its own
+    process, sleep past the deadline, or raise — before (or instead
+    of) running the real task.  With no events pending it is a
+    transparent passthrough, which is exactly the state every retry
+    lands in.
+    """
+
+    def __init__(self, fn, plan_dir: os.PathLike,
+                 sleep_seconds: float = 30.0) -> None:
+        self.fn = fn
+        self.plan_dir = str(plan_dir)
+        self.sleep_seconds = sleep_seconds
+
+    def __call__(self, arg):
+        kind = claim_event(self.plan_dir)
+        if kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "sleep":
+            time.sleep(self.sleep_seconds)
+            raise ChaosFailure(
+                "chaos: slept past the deadline but was never killed"
+            )
+        elif kind == "raise":
+            raise ChaosFailure("chaos: injected worker exception")
+        return self.fn(arg)
+
+
+def chaos_initializer(plan_dir: str) -> None:
+    """Pool initializer that raises once if an init-raise is pending."""
+    if claim_event(plan_dir, kinds=("init-raise",)):
+        raise ChaosFailure("chaos: injected initializer failure")
+
+
+# ----------------------------------------------------------------------
+# Cache corruption
+# ----------------------------------------------------------------------
+def corrupt_cache_entries(cache_dir: os.PathLike, count: int = 1,
+                          mode: str = "truncate",
+                          seed: int = 0) -> List[str]:
+    """Corrupt *count* cache entries in place; returns their file names.
+
+    ``truncate`` halves the file (a crashed writer without atomic
+    replace); ``bitflip`` flips one bit mid-payload (media corruption).
+    The victims are drawn with an injected RNG so scenarios reproduce.
+    """
+    if mode not in ("truncate", "bitflip"):
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    paths = sorted(pathlib.Path(cache_dir).glob("*.pkl"))
+    rng = random.Random(seed)
+    chosen = rng.sample(paths, min(count, len(paths)))
+    for path in chosen:
+        data = path.read_bytes()
+        if mode == "truncate":
+            path.write_bytes(data[: len(data) // 2])
+        else:
+            flipped = bytearray(data)
+            flipped[len(flipped) // 2] ^= 0x10
+            path.write_bytes(bytes(flipped))
+    return [path.name for path in chosen]
+
+
+# ----------------------------------------------------------------------
+# Scenario driver
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario, ready for JSON and assertions."""
+
+    matched: bool
+    classifications: int
+    outcomes: Dict[str, int]
+    counters: Dict[str, int]
+    corrupted_entries: List[str]
+    events_fired: int
+    events_pending: int
+    simulations: int
+    snapshot_payload: dict = field(repr=False, default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "matched": self.matched,
+            "classifications": self.classifications,
+            "outcomes": self.outcomes,
+            "counters": self.counters,
+            "corrupted_entries": self.corrupted_entries,
+            "events_fired": self.events_fired,
+            "events_pending": self.events_pending,
+            "simulations": self.simulations,
+            "snapshot": self.snapshot_payload,
+        }
+
+
+def _canonical_runs(result) -> str:
+    """Byte-identity currency: canonical JSON over run payloads."""
+    return json.dumps([run.to_payload() for run in result.runs],
+                      sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def run_campaign_chaos(workload: str = "scan", samples: int = 200,
+                       parallel: int = 2, *, kills: int = 1,
+                       sleeps: int = 0, raises: int = 0,
+                       init_raises: int = 0, corrupt: int = 1,
+                       corrupt_mode: str = "truncate", scale: float = 0.5,
+                       seed: int = 0, sms: int = 1,
+                       task_deadline: Optional[float] = None,
+                       policy: Optional[RetryPolicy] = None,
+                       work_dir: Optional[os.PathLike] = None,
+                       ) -> ChaosReport:
+    """Run the acceptance scenario and report what the harness absorbed.
+
+    Three phases:
+
+    1. a serial, unfaulted, cache-less campaign — the reference bytes;
+    2. a cache seeded with a prefix of the classifications, then
+       ``corrupt`` entries corrupted on disk;
+    3. the same campaign, parallel, under a supervisor with the
+       requested chaos plan and the poisoned cache.
+
+    The report's ``matched`` is byte-identity of phase 3 against phase
+    1 — zero lost classifications, zero poisoned results.  When
+    ``sleeps`` are injected, pass a ``task_deadline`` (seconds per
+    task) well below ``ChaosWrapper.sleep_seconds`` so the timeout path
+    fires; the wrapper's sleep is sized to 3x the deadline.
+    """
+    from repro.analysis.runner import experiment_config
+    from repro.common.config import DMRConfig
+    from repro.faults.campaign import CampaignEngine, CampaignSpec
+    from repro.faults.sampler import FaultSampler
+
+    spec = CampaignSpec(
+        workload=workload, config=experiment_config(num_sms=sms),
+        dmr=DMRConfig.paper_default(), scale=scale, seed=seed,
+    )
+
+    cleanup = None
+    if work_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        work_dir = cleanup.name
+    work = pathlib.Path(work_dir)
+    cache_dir = work / "cache"
+    plan_dir = work / "plan"
+
+    try:
+        # -- phase 1: serial unfaulted reference ------------------------
+        reference_engine = CampaignEngine(spec)
+        sampler = FaultSampler(spec.config)
+        horizon = reference_engine.golden_result().cycles
+        faults = sampler.sample(samples, horizon, seed=seed)
+        reference = reference_engine.run(faults)
+
+        # -- phase 2: seed then poison the cache ------------------------
+        seed_engine = CampaignEngine(spec, cache=cache_dir)
+        seed_count = max(2, 2 * corrupt)
+        seed_engine.run(faults[:seed_count])
+        corrupted = corrupt_cache_entries(cache_dir, corrupt,
+                                          mode=corrupt_mode, seed=seed)
+
+        # -- phase 3: chaos campaign ------------------------------------
+        plan = ChaosPlan(plan_dir, kills=kills, sleeps=sleeps,
+                         raises=raises, init_raises=init_raises)
+        sleep_seconds = 3 * task_deadline if task_deadline else 30.0
+        harness = declare_harness_metrics(MetricsRegistry())
+        supervisor = Supervisor(
+            policy=policy or RetryPolicy(base_delay=0.05, max_delay=1.0),
+            deadline=task_deadline,
+            registry=harness,
+            initializer=chaos_initializer if init_raises else None,
+            initargs=(str(plan_dir),) if init_raises else (),
+            task_wrapper=lambda fn: ChaosWrapper(fn, plan_dir,
+                                                 sleep_seconds),
+        )
+        engine = CampaignEngine(spec, cache=cache_dir, jobs=parallel,
+                                supervisor=supervisor)
+        chaotic = engine.run(faults, parallel=parallel)
+
+        matched = _canonical_runs(chaotic) == _canonical_runs(reference)
+        return ChaosReport(
+            matched=matched,
+            classifications=chaotic.total,
+            outcomes=chaotic.summary(),
+            counters={name: value
+                      for name, value in harness.counters().items()},
+            corrupted_entries=corrupted,
+            events_fired=plan.fired(),
+            events_pending=plan.pending(),
+            simulations=engine.simulations,
+            snapshot_payload=harness.to_payload(),
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()

@@ -1,0 +1,136 @@
+"""Cache integrity: checksummed entries, quarantine, atomic writes."""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.analysis.result_cache import ENTRY_MAGIC, ResultCache
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import declare_harness_metrics
+from repro.resilience.chaos import corrupt_cache_entries
+
+KEY = "deadbeef" * 8
+
+
+def _cache(tmp_path):
+    registry = declare_harness_metrics(MetricsRegistry())
+    return ResultCache(tmp_path / "cache", registry=registry), registry
+
+
+class TestEntryFormat:
+    def test_round_trip(self, tmp_path):
+        cache, _ = _cache(tmp_path)
+        payload = {"cycles": 123, "runs": [1, 2, 3]}
+        cache.put_payload(KEY, payload)
+        assert cache.get_payload(KEY) == payload
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_entries_carry_magic_and_checksum(self, tmp_path):
+        cache, _ = _cache(tmp_path)
+        cache.put_payload(KEY, {"x": 1})
+        raw = (cache.cache_dir / f"{KEY}.pkl").read_bytes()
+        assert raw.startswith(ENTRY_MAGIC)
+        digest_size = hashlib.sha256().digest_size
+        blob = raw[len(ENTRY_MAGIC) + digest_size:]
+        assert raw[len(ENTRY_MAGIC):len(ENTRY_MAGIC) + digest_size] == \
+            hashlib.sha256(blob).digest()
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_corruption_detected_and_quarantined(self, tmp_path, mode):
+        cache, registry = _cache(tmp_path)
+        cache.put_payload(KEY, {"x": 1})
+        victims = corrupt_cache_entries(cache.cache_dir, 1, mode=mode)
+        assert victims == [f"{KEY}.pkl"]
+
+        assert cache.get_payload(KEY) is None
+        assert cache.misses == 1
+        assert cache.corrupt == 1 and cache.quarantined == 1
+        assert registry.value("cache_corrupt_entries") == 1
+        assert registry.value("cache_quarantined") == 1
+        # moved aside, never re-served, available for post-mortem
+        assert not (cache.cache_dir / f"{KEY}.pkl").exists()
+        assert (cache.quarantine_dir / f"{KEY}.pkl").exists()
+
+    def test_recompute_after_quarantine(self, tmp_path):
+        cache, _ = _cache(tmp_path)
+        cache.put_payload(KEY, {"x": 1})
+        corrupt_cache_entries(cache.cache_dir, 1, mode="truncate")
+        assert cache.get_payload(KEY) is None
+        cache.put_payload(KEY, {"x": 2})  # the recompute path
+        assert cache.get_payload(KEY) == {"x": 2}
+
+    def test_foreign_bytes_without_header_quarantined(self, tmp_path):
+        cache, _ = _cache(tmp_path)
+        cache.cache_dir.mkdir(parents=True)
+        (cache.cache_dir / f"{KEY}.pkl").write_bytes(b"not a pickle")
+        assert cache.get_payload(KEY) is None
+        assert cache.corrupt == 1 and cache.misses == 1
+
+    def test_checksummed_garbage_quarantined(self, tmp_path):
+        # a valid header over unpicklable bytes: the writer stored junk
+        cache, _ = _cache(tmp_path)
+        cache.cache_dir.mkdir(parents=True)
+        blob = b"\x80garbage that is not a pickle"
+        raw = ENTRY_MAGIC + hashlib.sha256(blob).digest() + blob
+        (cache.cache_dir / f"{KEY}.pkl").write_bytes(raw)
+        assert cache.get_payload(KEY) is None
+        assert cache.corrupt == 1
+
+
+class TestAtomicWrites:
+    def test_failed_replace_leaves_no_entry_and_no_temp(
+            self, tmp_path, monkeypatch):
+        cache, _ = _cache(tmp_path)
+        cache.put_payload(KEY, {"x": 1})  # ensure dir exists
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.analysis.result_cache.os.replace",
+                            broken_replace)
+        with pytest.raises(OSError):
+            cache.put_payload("f" * 64, {"x": 2})
+        monkeypatch.undo()
+        assert not (cache.cache_dir / ("f" * 64 + ".pkl")).exists()
+        assert list(cache.cache_dir.glob("*.tmp")) == []
+
+    def test_keyboard_interrupt_reraised_not_swallowed(
+            self, tmp_path, monkeypatch):
+        cache, _ = _cache(tmp_path)
+        cache.put_payload(KEY, {"x": 1})
+
+        def interrupted_replace(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.analysis.result_cache.os.replace",
+                            interrupted_replace)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put_payload("f" * 64, {"x": 2})
+        monkeypatch.undo()
+        assert list(cache.cache_dir.glob("*.tmp")) == []
+
+    def test_writes_never_expose_partial_entries(self, tmp_path):
+        cache, _ = _cache(tmp_path)
+        cache.put_payload(KEY, {"x": 1})
+        # the temp file is renamed into place; nothing else remains
+        names = {path.name for path in cache.cache_dir.iterdir()}
+        assert names == {f"{KEY}.pkl"}
+
+
+class TestReadOnlyDegradation:
+    def test_unwritable_quarantine_still_misses(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        cache, registry = _cache(tmp_path)
+        cache.put_payload(KEY, {"x": 1})
+        corrupt_cache_entries(cache.cache_dir, 1, mode="truncate")
+        cache.cache_dir.chmod(0o500)
+        try:
+            assert cache.get_payload(KEY) is None
+            assert cache.corrupt == 1
+            assert cache.quarantined == 0  # move failed, still a miss
+        finally:
+            cache.cache_dir.chmod(0o700)

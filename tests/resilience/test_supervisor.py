@@ -1,0 +1,215 @@
+"""Supervisor behavior under worker failure, pool collapse and timeouts.
+
+Worker functions live at module level so they pickle into the pool by
+reference; one-shot failures are driven through the chaos plan's
+atomic claim protocol, which holds across retries and processes.
+"""
+
+import time
+
+import pytest
+
+from repro.common.errors import (
+    FaultInjectionError,
+    PermanentSimFailure,
+    PoisonedTask,
+    TaskTimeout,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import (
+    HARNESS_COUNTERS,
+    RetryPolicy,
+    Supervisor,
+    classify_failure,
+    declare_harness_metrics,
+)
+from repro.resilience.chaos import ChaosFailure, ChaosPlan, ChaosWrapper
+
+
+def _square(value):
+    return value * value
+
+
+def _assert_positive(value):
+    assert value > 0, "injected deterministic failure"
+    return value
+
+
+def _raise_repro_error(value):
+    raise FaultInjectionError(f"deterministic simulator failure on {value}")
+
+
+def _sleep_forever(value):
+    time.sleep(60.0)
+    return value
+
+
+def _fast_policy(**overrides):
+    defaults = dict(max_attempts=3, base_delay=0.01, max_delay=0.05)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+def _registry():
+    return declare_harness_metrics(MetricsRegistry())
+
+
+class TestClassification:
+    def test_repro_errors_are_permanent(self):
+        assert classify_failure(FaultInjectionError("x")) == "permanent"
+        assert classify_failure(AssertionError("x")) == "permanent"
+
+    def test_everything_else_is_transient(self):
+        assert classify_failure(ChaosFailure("x")) == "transient"
+        assert classify_failure(OSError("x")) == "transient"
+        assert classify_failure(TaskTimeout("x")) == "transient"
+
+
+class TestHappyPath:
+    def test_parallel_map_preserves_order(self):
+        registry = _registry()
+        supervisor = Supervisor(policy=_fast_policy(), registry=registry)
+        values = list(range(24))
+        assert supervisor.map(_square, values, workers=3) == [
+            v * v for v in values]
+        assert registry.value("resilience_tasks") == 24
+        assert registry.value("resilience_retries") == 0
+
+    def test_serial_map_matches_parallel(self):
+        serial = Supervisor().map(_square, range(10), workers=1)
+        parallel = Supervisor().map(_square, range(10), workers=4)
+        assert serial == parallel
+
+    def test_empty_map(self):
+        assert Supervisor().map(_square, [], workers=4) == []
+
+    def test_declared_counters_all_present(self):
+        registry = _registry()
+        for name in HARNESS_COUNTERS:
+            assert registry.value(name) == 0
+            assert name in registry.counters()
+
+
+class TestRetries:
+    def test_flaky_worker_retried_parallel(self, tmp_path):
+        plan = ChaosPlan(tmp_path / "plan", raises=1)
+        registry = _registry()
+        supervisor = Supervisor(
+            policy=_fast_policy(), registry=registry,
+            task_wrapper=lambda fn: ChaosWrapper(fn, tmp_path / "plan"),
+        )
+        values = list(range(8))
+        assert supervisor.map(_square, values, workers=2) == [
+            v * v for v in values]
+        assert plan.fired() == 1
+        assert registry.value("resilience_retries") == 1
+        assert registry.value("resilience_worker_failures") == 1
+
+    def test_flaky_worker_retried_serial(self, tmp_path):
+        plan = ChaosPlan(tmp_path / "plan", raises=1)
+        registry = _registry()
+        supervisor = Supervisor(
+            policy=_fast_policy(), registry=registry,
+            task_wrapper=lambda fn: ChaosWrapper(fn, tmp_path / "plan"),
+        )
+        assert supervisor.map(_square, [3, 4], workers=1) == [9, 16]
+        assert plan.fired() == 1
+        assert registry.value("resilience_retries") == 1
+
+    def test_retries_exhausted_poisons_task(self, tmp_path):
+        # more injected raises than the attempt budget for one task
+        ChaosPlan(tmp_path / "plan", raises=10)
+        registry = _registry()
+        supervisor = Supervisor(
+            policy=_fast_policy(max_attempts=2), registry=registry,
+            task_wrapper=lambda fn: ChaosWrapper(fn, tmp_path / "plan"),
+        )
+        with pytest.raises(PoisonedTask) as excinfo:
+            supervisor.map(_square, [1], workers=1)
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.__cause__, ChaosFailure)
+        assert registry.value("resilience_poisoned_tasks") == 1
+
+    def test_permanent_failure_fails_fast(self):
+        registry = _registry()
+        supervisor = Supervisor(policy=_fast_policy(), registry=registry)
+        with pytest.raises(PermanentSimFailure):
+            supervisor.map(_raise_repro_error, [1], workers=1)
+        assert registry.value("resilience_retries") == 0
+        assert registry.value("resilience_permanent_failures") == 1
+
+    def test_assertion_failure_fails_fast_parallel(self):
+        registry = _registry()
+        supervisor = Supervisor(policy=_fast_policy(), registry=registry)
+        with pytest.raises(PermanentSimFailure) as excinfo:
+            supervisor.map(_assert_positive, [1, 2, -1, 4], workers=2)
+        assert isinstance(excinfo.value.__cause__, AssertionError)
+        assert registry.value("resilience_permanent_failures") == 1
+
+
+class TestPoolRecovery:
+    def test_sigkilled_worker_recovered(self, tmp_path):
+        plan = ChaosPlan(tmp_path / "plan", kills=1)
+        registry = _registry()
+        supervisor = Supervisor(
+            policy=_fast_policy(), registry=registry,
+            task_wrapper=lambda fn: ChaosWrapper(fn, tmp_path / "plan"),
+        )
+        values = list(range(12))
+        assert supervisor.map(_square, values, workers=2) == [
+            v * v for v in values]
+        assert plan.fired() == 1
+        assert registry.value("resilience_pool_rebuilds") >= 1
+        # someone was charged for the collapse, and recovered
+        assert registry.value("resilience_worker_failures") >= 1
+        assert registry.value("resilience_tasks") == 12
+
+
+class TestDeadlines:
+    def test_timeout_is_structured_and_bounded(self, tmp_path):
+        registry = _registry()
+        supervisor = Supervisor(
+            policy=_fast_policy(max_attempts=1),
+            deadline=0.4, registry=registry,
+        )
+        start = time.monotonic()
+        with pytest.raises(PoisonedTask) as excinfo:
+            supervisor.map(_sleep_forever, [1, 2], workers=2)
+        elapsed = time.monotonic() - start
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, TaskTimeout)
+        assert cause.deadline == pytest.approx(0.4)
+        assert cause.elapsed >= 0.4
+        assert registry.value("resilience_timeouts") >= 1
+        # bounded at ~deadline + pool teardown, nowhere near the 60s sleep
+        assert elapsed < 15.0
+
+    def test_timeout_retries_then_converges(self, tmp_path):
+        # one oversleeping call, then clean retries: the map recovers
+        plan = ChaosPlan(tmp_path / "plan", sleeps=1)
+        registry = _registry()
+        supervisor = Supervisor(
+            policy=_fast_policy(), deadline=0.4, registry=registry,
+            task_wrapper=lambda fn: ChaosWrapper(
+                fn, tmp_path / "plan", sleep_seconds=60.0),
+        )
+        values = list(range(6))
+        start = time.monotonic()
+        assert supervisor.map(_square, values, workers=2) == [
+            v * v for v in values]
+        elapsed = time.monotonic() - start
+        assert plan.fired() == 1
+        assert registry.value("resilience_timeouts") == 1
+        assert registry.value("resilience_pool_rebuilds") >= 1
+        assert elapsed < 15.0
+
+    def test_callable_deadline_spec(self):
+        registry = _registry()
+        supervisor = Supervisor(
+            policy=_fast_policy(), registry=registry,
+            deadline=lambda arg: 30.0 + arg,
+        )
+        values = list(range(6))
+        assert supervisor.map(_square, values, workers=2) == [
+            v * v for v in values]
+        assert registry.value("resilience_timeouts") == 0
