@@ -9,7 +9,10 @@ Commands
     cycle count, coverage and verification statistics.
 ``figure NAME``
     Regenerate one of the paper's figures as a text table
-    (fig1, fig5, fig8a, fig8b, fig9a, fig9b, fig10, fig11).
+    (fig1, fig5, fig8a, fig8b, fig9a, fig9b, fig10, fig11), or the
+    repo's own ``fig-sched``: ReplayQ-stall and DMR-coverage
+    distributions across seeded schedule interleavings of the fuzz
+    corpus (growing the corpus first if needed).
 ``inject WORKLOAD``
     Inject a fault, report detection/corruption, and localize the lane.
 ``bench``
@@ -37,6 +40,12 @@ Commands
     raise in workers/initializers, corrupt cache entries) and verify
     the result is byte-identical to an unfaulted serial run.  Exits
     nonzero on any lost or divergent classification.
+``fuzz``
+    Grow, replay or minimize the differential kernel corpus: seeded
+    generation of mini-ISA kernels, each admitted only after the
+    scalar reference, the scalar engine and the vectorized engine
+    produce bit-identical memory images.  Writes machine-readable
+    ``FUZZ_report.json`` and exits nonzero on any mismatch.
 """
 
 from __future__ import annotations
@@ -108,11 +117,23 @@ def cmd_run(args) -> int:
     return 0 if check == "PASS" else 1
 
 
+def _cache_arg(args):
+    """Resolve the shared --no-cache/--cache-dir flags."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    return True
+
+
 def cmd_figure(args) -> int:
     from repro.analysis import active_threads, approaches, coverage_sweep
     from repro.analysis import inst_mix, overhead_sweep, power_energy
     from repro.analysis import raw_distance, switching
     from repro.analysis.runner import SuiteRunner, experiment_config
+
+    if args.name == "fig-sched":
+        return _figure_sched(args)
 
     drivers = {
         "fig1": (active_threads.run_figure1, active_threads.format_figure1),
@@ -130,14 +151,9 @@ def cmd_figure(args) -> int:
     }
     if args.name not in drivers:
         print(f"unknown figure {args.name!r}; choose from "
-              f"{sorted(drivers)}", file=sys.stderr)
+              f"{sorted(drivers) + ['fig-sched']}", file=sys.stderr)
         return 2
-    if args.no_cache:
-        cache = None
-    elif args.cache_dir is not None:
-        cache = args.cache_dir
-    else:
-        cache = True
+    cache = _cache_arg(args)
     runner = SuiteRunner(
         experiment_config(num_sms=args.sms), scale=args.scale,
         seed=args.seed, cache=cache, jobs=args.jobs,
@@ -146,6 +162,91 @@ def cmd_figure(args) -> int:
     print(format_fn(run_fn(runner)))
     print(runner.cache_summary(), file=sys.stderr)
     return 0
+
+
+def _figure_sched(args) -> int:
+    """fig-sched: schedule-space sweep over the fuzz corpus."""
+    from repro.analysis.sched_sweep import format_fig_sched, run_fig_sched
+    from repro.common.config import DMRConfig
+    from repro.fuzz import Corpus, grow_corpus
+
+    corpus = Corpus(args.corpus_dir)
+    if len(corpus) < args.kernels:
+        print(f"growing corpus at {args.corpus_dir} to {args.kernels} "
+              f"kernels (seed {args.seed})", file=sys.stderr)
+        report = grow_corpus(corpus, args.kernels, args.seed)
+        if report["failures"]:
+            print(f"{len(report['failures'])} kernels failed differential "
+                  "validation; aborting", file=sys.stderr)
+            return 1
+    # The paper-default 10-entry ReplayQ absorbs corpus-sized kernels
+    # without ever stalling; the sweep defaults to a tighter queue so
+    # the schedule-to-schedule stall distribution is visible.
+    dmr = DMRConfig.paper_default().with_replayq(args.replayq)
+    data = run_fig_sched(
+        args.corpus_dir, schedules=args.schedules, kernels=args.kernels,
+        num_sms=args.sms, dmr=dmr, cache=_cache_arg(args), jobs=args.jobs,
+    )
+    print(format_fig_sched(data))
+    print(f"runs: {data['cached_runs']} cached, "
+          f"{data['simulated_runs']} simulated", file=sys.stderr)
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzz import (Corpus, corpus_digest, fuzz_gpu_config,
+                            grow_corpus, minimize_kernel, replay_corpus)
+
+    corpus = Corpus(args.corpus_dir)
+    config = fuzz_gpu_config(num_sms=args.sms)
+
+    if args.minimize is not None:
+        kernel = corpus.load(args.minimize)
+        before = sum(inst.opcode.name != "NOP"
+                     for inst in kernel.program.instructions)
+        minimized = minimize_kernel(kernel, config=config)
+        after = sum(inst.opcode.name != "NOP"
+                    for inst in minimized.program.instructions)
+        digest, added = corpus.add(minimized)
+        report = {
+            "mode": "minimize", "kernel": args.minimize,
+            "minimized": digest, "added": added,
+            "instructions_before": before, "instructions_after": after,
+            "failures": [],
+        }
+        print(f"minimized {args.minimize[:12]}: {before} -> {after} live "
+              f"instructions; stored as {digest[:12]}")
+    elif args.replay:
+        report = replay_corpus(corpus, config=config,
+                               progress=lambda line: print(line,
+                                                           file=sys.stderr))
+        report["mode"] = "replay"
+        print(f"replayed {report['replayed']} kernels: "
+              f"{report['validated']} bit-identical, "
+              f"{len(report['failures'])} mismatches")
+    else:
+        report = grow_corpus(corpus, args.count, args.seed, config=config,
+                             progress=lambda line: print(line,
+                                                         file=sys.stderr))
+        report["mode"] = "grow"
+        print(f"generated {report['generated']} kernels (seed "
+              f"{args.seed}): {report['validated']} validated "
+              f"bit-identical, {report['added']} added, "
+              f"{report['duplicates']} already present, "
+              f"{len(report['failures'])} failures")
+    report["corpus_dir"] = str(corpus.root)
+    report["corpus_size"] = len(corpus)
+    report["corpus_digest"] = corpus_digest(corpus)
+    print(f"corpus: {report['corpus_size']} kernels, "
+          f"digest {report['corpus_digest'][:16]}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 1 if report["failures"] else 0
 
 
 def cmd_inject(args) -> int:
@@ -436,6 +537,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache directory (default $REPRO_CACHE_DIR "
              "or ~/.cache/repro)")
+    figure_parser.add_argument(
+        "--corpus-dir", default=".fuzz-corpus", metavar="DIR",
+        help="fuzz corpus for fig-sched (grown on demand)")
+    figure_parser.add_argument(
+        "--schedules", type=int, default=8,
+        help="seeded interleavings to sweep for fig-sched (default 8)")
+    figure_parser.add_argument(
+        "--kernels", type=int, default=32,
+        help="corpus kernels per schedule for fig-sched (default 32)")
+    figure_parser.add_argument(
+        "--replayq", type=int, default=2,
+        help="ReplayQ entries for fig-sched (default 2: small enough "
+             "to surface stall pressure on corpus-scale kernels)")
 
     inject_parser = sub.add_parser("inject", help="fault-injection run")
     inject_parser.add_argument("workload")
@@ -545,6 +659,28 @@ def build_parser() -> argparse.ArgumentParser:
                               help="JSON report path (default "
                                    "CHAOS_report.json)")
 
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="grow/replay/minimize the differential kernel corpus")
+    fuzz_parser.add_argument(
+        "--count", type=int, default=64,
+        help="kernels to generate when growing (default 64)")
+    fuzz_parser.add_argument("--seed", type=int, default=0,
+                             help="campaign seed (default 0)")
+    fuzz_parser.add_argument(
+        "--corpus-dir", default=".fuzz-corpus", metavar="DIR",
+        help="corpus directory (default .fuzz-corpus)")
+    fuzz_parser.add_argument("--sms", type=int, default=2,
+                             help="simulated SMs for validation runs")
+    fuzz_parser.add_argument(
+        "--replay", action="store_true",
+        help="re-validate every stored kernel instead of growing")
+    fuzz_parser.add_argument(
+        "--minimize", default=None, metavar="DIGEST",
+        help="NOP-minimize one stored kernel and add the result")
+    fuzz_parser.add_argument(
+        "--out", default="FUZZ_report.json", metavar="FILE",
+        help="machine-readable report path (default FUZZ_report.json)")
+
     metrics_parser = sub.add_parser(
         "metrics", help="print the aggregated metrics snapshot")
     metrics_parser.add_argument("workload", nargs="?", default=None,
@@ -570,6 +706,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "chaos": cmd_chaos,
         "metrics": cmd_metrics,
+        "fuzz": cmd_fuzz,
     }[args.command]
     return handler(args)
 

@@ -13,7 +13,7 @@ import dataclasses
 import enum
 import json
 from dataclasses import dataclass, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.common.errors import ConfigError
 
@@ -112,6 +112,14 @@ class GPUConfig:
     clock_period_ns: float = 1.25  # 800 MHz, 40 nm (paper Section 4.1)
     scheduler: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN
 
+    # Stateless schedule exploration (GPUMC-style).  When set, every
+    # scheduler decision picks uniformly among all issuable warps using
+    # a counter-indexed hash of this seed, so a seed names exactly one
+    # member of the space of legal interleavings and the whole schedule
+    # is reproducible from (config, seed) alone.  None keeps the
+    # deterministic policy-driven schedule above.
+    schedule_seed: Optional[int] = None
+
     # Schedulers per SM (paper Section 2.2): the baseline evaluates 1;
     # Fermi-class SMs have 2, each owning its SP group but sharing the
     # LD/ST units and SFUs — so two instructions co-issue per cycle
@@ -165,6 +173,10 @@ class GPUConfig:
             raise ConfigError(
                 f"num_schedulers must be 1 or 2, got {self.num_schedulers}"
             )
+        if self.schedule_seed is not None and self.schedule_seed < 0:
+            raise ConfigError(
+                f"schedule_seed must be >= 0 or None, got {self.schedule_seed}"
+            )
 
     @property
     def clusters_per_warp(self) -> int:
@@ -189,6 +201,10 @@ class GPUConfig:
     def with_cluster_size(self, cluster_size: int) -> "GPUConfig":
         """Return a copy with a different SIMT cluster size (Fig 9a sweep)."""
         return replace(self, cluster_size=cluster_size)
+
+    def with_schedule_seed(self, seed: Optional[int]) -> "GPUConfig":
+        """Return a copy exploring the interleaving named by *seed*."""
+        return replace(self, schedule_seed=seed)
 
     def to_dict(self) -> Dict[str, Any]:
         """Flat dict form, convenient for experiment logs."""

@@ -1,0 +1,235 @@
+"""Persistent content-addressed corpus of validated fuzz kernels.
+
+Like the result cache, the corpus names entries by content: each kernel
+lives in ``<digest>.json`` where the digest is the SHA-256 of its
+canonical payload, so a corpus directory merges trivially, replays
+deterministically, and two grows from the same seed produce identical
+directory listings.  Files are written atomically (temp + rename) so a
+killed grow never leaves a torn entry.
+
+``grow_corpus`` derives per-kernel generation seeds from the campaign
+seed with the same SplitMix64 mixing the schedule explorer uses, runs
+the full differential admission check on every candidate, and admits
+only kernels whose three executions are bit-identical — a validation
+failure is recorded in the report (it means a simulator bug, and the
+payload reproduces it) but never enters the corpus.
+
+``minimize_kernel`` shrinks a kernel by NOP-substitution, which
+preserves the PC layout so branch targets and reconvergence points
+survive; the default predicate keeps any candidate that still validates
+and leaves the reference result digest unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.common.config import GPUConfig
+from repro.common.errors import ConfigError
+from repro.fuzz.differential import reference_memory, validate_kernel
+from repro.fuzz.generator import generate_kernel
+from repro.fuzz.profile import FuzzProfile
+from repro.fuzz.serialize import FuzzKernel, memory_digest
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.kernel.program import Program
+
+_MASK63 = (1 << 63) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def kernel_seed(campaign_seed: int, index: int) -> int:
+    """Generation seed of kernel *index* in a campaign (pure mixing)."""
+    return _mix64(campaign_seed * _GOLDEN + index) & _MASK63
+
+
+class Corpus:
+    """A directory of ``<digest>.json`` kernel payloads."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def digests(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        # Only content-addressed entries count; sidecar files such as a
+        # GOLDEN.json digest table may share the directory.
+        return sorted(
+            path.stem for path in self.root.glob("*.json")
+            if len(path.stem) == 64
+            and all(c in "0123456789abcdef" for c in path.stem)
+        )
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).is_file()
+
+    def load(self, digest: str) -> FuzzKernel:
+        with open(self._path(digest), "r", encoding="utf-8") as handle:
+            kernel = FuzzKernel.from_payload(json.load(handle))
+        actual = kernel.digest()
+        if actual != digest:
+            raise ConfigError(
+                f"corpus entry {digest[:12]} re-digests to {actual[:12]}; "
+                "the file was edited or corrupted")
+        return kernel
+
+    def __iter__(self) -> Iterator[FuzzKernel]:
+        for digest in self.digests():
+            yield self.load(digest)
+
+    def add(self, kernel: FuzzKernel) -> tuple:
+        """Store *kernel*; returns (digest, newly_added)."""
+        digest = kernel.digest()
+        path = self._path(digest)
+        if path.is_file():
+            return digest, False
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(kernel.to_payload(), handle, sort_keys=True,
+                          separators=(",", ":"))
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return digest, True
+
+
+def corpus_digest(corpus: Corpus) -> str:
+    """One digest over the whole corpus (sorted member digests).
+
+    Two grows from the same seed produce the same value; any added,
+    dropped or altered member changes it.
+    """
+    blob = "\n".join(corpus.digests()).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def grow_corpus(corpus: Corpus, count: int, seed: int, *,
+                profile: Optional[FuzzProfile] = None,
+                config: Optional[GPUConfig] = None,
+                progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Generate, validate and admit *count* kernels; return a report."""
+    report: Dict = {
+        "requested": count, "seed": seed, "generated": 0,
+        "validated": 0, "added": 0, "duplicates": 0,
+        "failures": [], "digests": [],
+    }
+    for index in range(count):
+        kernel = generate_kernel(kernel_seed(seed, index), profile)
+        report["generated"] += 1
+        outcome = validate_kernel(kernel, config)
+        if not outcome.ok:
+            report["failures"].append({
+                "kernel": outcome.kernel_digest,
+                "seed": kernel.seed,
+                "errors": outcome.errors,
+            })
+            if progress is not None:
+                progress(f"FAIL {outcome.kernel_digest[:12]} "
+                         f"(seed {kernel.seed:#x}): {outcome.errors}")
+            continue
+        report["validated"] += 1
+        digest, added = corpus.add(kernel)
+        report["added" if added else "duplicates"] += 1
+        report["digests"].append(digest)
+        if progress is not None and (index + 1) % 25 == 0:
+            progress(f"{index + 1}/{count} kernels validated")
+    report["digests"].sort()
+    return report
+
+
+def replay_corpus(corpus: Corpus, *,
+                  config: Optional[GPUConfig] = None,
+                  progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Re-validate every stored kernel; return a report."""
+    report: Dict = {"replayed": 0, "validated": 0, "failures": []}
+    for digest in corpus.digests():
+        kernel = corpus.load(digest)
+        report["replayed"] += 1
+        outcome = validate_kernel(kernel, config)
+        if outcome.ok:
+            report["validated"] += 1
+        else:
+            report["failures"].append({
+                "kernel": digest, "errors": outcome.errors,
+            })
+            if progress is not None:
+                progress(f"FAIL {digest[:12]}: {outcome.errors}")
+    return report
+
+
+def _with_program(kernel: FuzzKernel, program: Program) -> FuzzKernel:
+    features = sorted(set(kernel.features) | {"minimized"})
+    return FuzzKernel(
+        program=program, grid_dim=kernel.grid_dim,
+        block_dim=kernel.block_dim, memory_init=list(kernel.memory_init),
+        cycle_budget=kernel.cycle_budget, seed=kernel.seed,
+        profile_name=kernel.profile_name, divergent=kernel.divergent,
+        features=features,
+    )
+
+
+def minimize_kernel(kernel: FuzzKernel,
+                    predicate: Optional[Callable[[FuzzKernel], bool]] = None,
+                    config: Optional[GPUConfig] = None) -> FuzzKernel:
+    """Shrink *kernel* by NOP-substitution under *predicate*.
+
+    Replacing instructions with NOPs (instead of deleting them) keeps
+    every PC stable, so branch targets and reconvergence points stay
+    valid without relocation.  The default predicate requires the
+    candidate to pass full differential validation with the reference
+    result digest unchanged — i.e. dead-code elimination.
+    """
+    if predicate is None:
+        baseline = memory_digest(reference_memory(kernel))
+
+        def predicate(candidate: FuzzKernel) -> bool:
+            outcome = validate_kernel(candidate, config)
+            if not outcome.ok:
+                return False
+            return outcome.reference_digest == baseline
+
+    nop = Instruction(Opcode.NOP)
+    current = kernel
+    changed = True
+    while changed:
+        changed = False
+        instructions = list(current.program.instructions)
+        # Never touch the terminator: a program must end in EXIT/JMP.
+        for pc in range(len(instructions) - 1):
+            if instructions[pc].opcode is Opcode.NOP:
+                continue
+            trial = list(instructions)
+            trial[pc] = nop
+            program = Program.from_instructions(current.program.name, trial)
+            candidate = _with_program(current, program)
+            if predicate(candidate):
+                current = candidate
+                instructions = trial
+                changed = True
+    return current

@@ -1,0 +1,526 @@
+"""Seeded generator of differential-testable mini-ISA kernels.
+
+``generate_kernel(seed)`` is a pure function: the same seed always
+yields the same :class:`~repro.fuzz.serialize.FuzzKernel`, byte for
+byte.  Generated kernels are constructed to satisfy two invariants that
+make the barrier-aware scalar reference a valid oracle and keep every
+engine bit-identical:
+
+**Race freedom.**  Each thread writes only its own global output slots
+(address = gtid + slot base), the input region is read-only, and shared
+memory is only exchanged through the barrier-bracketed pattern
+``BAR; st.shared[tid]; BAR; ld.shared[(tid+k) % ntid]``.  Barriers are
+emitted only at the top level — never inside a loop or a divergent
+diamond — so every thread reaches every barrier exactly once and the
+final memory image is independent of warp interleaving.
+
+**Finite values.**  No register may ever hold an infinity or NaN: both
+execution engines share exact libm semantics for finite doubles, but
+``SIN``/``COS`` raise on infinite inputs and integer conversion raises
+on non-finite floats.  The generator tracks a conservative magnitude
+bound per register (``FADD`` adds bounds, ``FMUL`` multiplies them,
+``EXP`` caps at e^700, ...), guards ``LOG`` behind an ``FMAX`` with a
+small positive constant, and when a candidate op's bound would approach
+the double range it emits a deterministic scale-down multiply instead.
+Loop bodies are restricted to non-bound-growing ops since their bounds
+would otherwise compound per trip.
+
+Divergence, predication, loop structure, instruction mix and
+RAW-distance bias are all steered by a :class:`FuzzProfile`; the
+``divergent`` flag records honestly whether any control decision
+depended on a varying value (the schedule-invariance tests key on it).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.fuzz.profile import FuzzProfile, sample_profile
+from repro.fuzz.serialize import FuzzKernel, Number
+from repro.isa.opcodes import CmpOp, Opcode
+from repro.isa.operands import Imm, Reg
+from repro.kernel.builder import KernelBuilder
+
+#: Input slot *s* occupies addresses [s * IN_STRIDE, s * IN_STRIDE + T).
+IN_STRIDE = 4096
+#: Output slots live far above every input slot.
+OUT_BASE = 1 << 20
+#: Maximum distinct output slots a kernel writes (reuse overwrites the
+#: thread's own slot, which stays race-free).
+MAX_OUT_SLOTS = 8
+
+_I32_BOUND = float(2 ** 31)
+#: Stay well clear of the double range (max double ~1.8e308).
+_BOUND_LIMIT = 1e300
+_CMPS = (CmpOp.EQ, CmpOp.NE, CmpOp.LT, CmpOp.LE, CmpOp.GT, CmpOp.GE)
+
+_INT_OPS = (Opcode.IADD, Opcode.ISUB, Opcode.IMUL, Opcode.IMAD,
+            Opcode.IDIV, Opcode.IREM, Opcode.IMIN, Opcode.IMAX,
+            Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT,
+            Opcode.SHL, Opcode.SHR)
+_FLOAT_OPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FFMA,
+              Opcode.FMIN, Opcode.FMAX, Opcode.FABS, Opcode.FNEG,
+              Opcode.I2F)
+_SFU_OPS = (Opcode.SIN, Opcode.COS, Opcode.SQRT, Opcode.RSQRT,
+            Opcode.EXP, Opcode.LOG)
+#: Ops whose result bound never exceeds their operands' bounds (safe to
+#: repeat inside loops without compounding).
+_LOOP_SAFE_OPS = (Opcode.IADD, Opcode.ISUB, Opcode.IMUL, Opcode.IMIN,
+                  Opcode.IMAX, Opcode.AND, Opcode.XOR, Opcode.SHR,
+                  Opcode.SIN, Opcode.COS, Opcode.FMIN, Opcode.FMAX,
+                  Opcode.FABS, Opcode.FNEG)
+
+
+@dataclass
+class _RegInfo:
+    """Generation-time model of one register's possible contents."""
+
+    reg: Reg
+    #: conservative upper bound on |value| across all lanes
+    bound: float = 0.0
+    #: may lanes within a block hold different values?
+    varying: bool = False
+    #: sequence number of the last write (-1 = prologue/unwritten)
+    order: int = -1
+    #: may this register be used as a write destination?
+    writable: bool = True
+
+
+class _Generator:
+    """Single-use builder for one (seed, profile) kernel."""
+
+    def __init__(self, seed: int, profile: FuzzProfile, rng: random.Random):
+        self.seed = seed
+        self.profile = profile
+        self.rng = rng
+        self.b = KernelBuilder(f"fuzz-{seed:016x}")
+        self.dyn = 0              # worst-case dynamic instructions/thread
+        self.writes = 0           # write sequence counter
+        self.divergent = False
+        self.features: set = set()
+        self.out_slot = 0
+        self.labels = 0
+        # Reserved registers: identity values plus private scratch that
+        # general ops must never clobber.
+        self.r_gtid = _RegInfo(self.b.reg(), bound=float(
+            profile.total_threads), varying=True, writable=False)
+        self.r_tid = _RegInfo(self.b.reg(), bound=float(profile.block_dim),
+                              varying=True, writable=False)
+        self.r_ctaid = _RegInfo(self.b.reg(), bound=float(profile.grid_dim),
+                                varying=False, writable=False)
+        self.r_counter = self.b.reg()   # loop counter
+        self.r_addr = self.b.reg()      # shared-exchange address scratch
+        self.r_trips = self.b.reg()     # varying loop-trip scratch
+        self.pool = [_RegInfo(self.b.reg())
+                     for _ in range(profile.registers - 6)]
+        self.p_ctrl = self.b.pred()     # diamonds and loops
+        self.p_guard = self.b.pred()    # op predication
+        self.guard_varying = False
+        # Input region layout: per-slot element type, decided up front so
+        # loads know their bounds.
+        self.n_inputs = rng.randint(2, 4)
+        self.input_is_float = [rng.random() < 0.5
+                               for _ in range(self.n_inputs)]
+
+    # ------------------------------------------------------------------
+    # operand selection
+
+    def _sources(self) -> List[_RegInfo]:
+        written = [info for info in self.pool if info.order >= 0]
+        return written + [self.r_gtid, self.r_tid, self.r_ctaid]
+
+    def _uniform_sources(self) -> List[_RegInfo]:
+        return [info for info in self._sources() if not info.varying]
+
+    def _pick_src(self, candidates: Optional[Sequence[_RegInfo]] = None
+                  ) -> _RegInfo:
+        """RAW-bias pick: prefer the most recent writes."""
+        pool = list(candidates) if candidates is not None else self._sources()
+        recent = sorted(pool, key=lambda info: info.order, reverse=True)[:2]
+        if recent and self.rng.random() < self.profile.raw_bias:
+            return self.rng.choice(recent)
+        return self.rng.choice(pool)
+
+    def _pick_dst(self) -> _RegInfo:
+        return self.rng.choice(self.pool)
+
+    def _int_imm(self) -> Imm:
+        return Imm(self.rng.randint(-1000, 1000))
+
+    def _float_imm(self) -> Imm:
+        return Imm(self.rng.uniform(-100.0, 100.0))
+
+    def _guard_kwargs(self, allow: bool = True) -> dict:
+        """Maybe predicate the next op on the guard predicate."""
+        if allow and self.rng.random() < self.profile.predication:
+            return {"pred": self.p_guard,
+                    "pred_neg": self.rng.random() < 0.5}
+        return {}
+
+    def _write(self, dst: _RegInfo, bound: float, varying: bool,
+               guarded: bool, conditional: bool = False) -> None:
+        """Update the register model after emitting a write to *dst*.
+
+        *guarded* marks a predicated write, *conditional* one inside a
+        branch shadow (a diamond's else-block): in either case some
+        lanes may keep the old value, so the old bound survives and the
+        guard's variance taints the result.
+        """
+        if guarded or conditional:
+            bound = max(bound, dst.bound)
+            varying = varying or dst.varying
+            if guarded:
+                varying = varying or self.guard_varying
+        dst.bound = bound
+        dst.varying = varying
+        dst.order = self.writes
+        self.writes += 1
+        self.dyn += 1
+
+    # ------------------------------------------------------------------
+    # op emission
+
+    def _emit_int_op(self, loop_safe: bool = False,
+                     masked_varying: bool = False,
+                     conditional: bool = False) -> None:
+        ops = [op for op in _INT_OPS
+               if not loop_safe or op in _LOOP_SAFE_OPS]
+        op = self.rng.choice(ops)
+        dst = self._pick_dst()
+        guard = self._guard_kwargs(allow=not masked_varying)
+        srcs: List[Union[_RegInfo, Imm]] = []
+        n_srcs = {Opcode.NOT: 1, Opcode.IMAD: 3}.get(op, 2)
+        for position in range(n_srcs):
+            if position > 0 and self.rng.random() < 0.25:
+                srcs.append(self._int_imm())
+            else:
+                srcs.append(self._pick_src())
+        operands = [src.reg if isinstance(src, _RegInfo) else src
+                    for src in srcs]
+        varying = masked_varying or any(
+            src.varying for src in srcs if isinstance(src, _RegInfo))
+        helper = {
+            Opcode.IADD: self.b.iadd, Opcode.ISUB: self.b.isub,
+            Opcode.IMUL: self.b.imul, Opcode.IMAD: self.b.imad,
+            Opcode.IDIV: self.b.idiv, Opcode.IREM: self.b.irem,
+            Opcode.IMIN: self.b.imin, Opcode.IMAX: self.b.imax,
+            Opcode.AND: self.b.and_, Opcode.OR: self.b.or_,
+            Opcode.XOR: self.b.xor, Opcode.NOT: self.b.not_,
+            Opcode.SHL: self.b.shl, Opcode.SHR: self.b.shr,
+        }[op]
+        helper(dst.reg, *operands, **guard)
+        # Integer results wrap to signed 32-bit regardless of inputs.
+        self._write(dst, _I32_BOUND, varying, bool(guard), conditional)
+
+    def _emit_float_op(self, masked_varying: bool = False,
+                       conditional: bool = False) -> None:
+        op = self.rng.choice(_FLOAT_OPS)
+        dst = self._pick_dst()
+        guard = self._guard_kwargs(allow=not masked_varying)
+        srcs: List[Union[_RegInfo, Imm]] = []
+        n_srcs = {Opcode.FABS: 1, Opcode.FNEG: 1, Opcode.I2F: 1,
+                  Opcode.FFMA: 3}.get(op, 2)
+        for position in range(n_srcs):
+            if op is not Opcode.I2F and position > 0 \
+                    and self.rng.random() < 0.25:
+                srcs.append(self._float_imm())
+            else:
+                srcs.append(self._pick_src())
+        bounds = [abs(src.value) if isinstance(src, Imm) else src.bound
+                  for src in srcs]
+        if op in (Opcode.FADD, Opcode.FSUB):
+            bound = bounds[0] + bounds[1]
+        elif op is Opcode.FMUL:
+            bound = bounds[0] * bounds[1]
+        elif op is Opcode.FFMA:
+            bound = bounds[0] * bounds[1] + bounds[2]
+        elif op is Opcode.I2F:
+            bound = _I32_BOUND
+        else:  # FMIN/FMAX/FABS/FNEG never grow magnitude
+            bound = max(bounds)
+        if bound > _BOUND_LIMIT:
+            # Deterministic pressure-release valve: scale the largest
+            # operand down instead, keeping every register finite.
+            src = max((s for s in srcs if isinstance(s, _RegInfo)),
+                      key=lambda info: info.bound)
+            self.b.fmul(dst.reg, src.reg, Imm(1e-150), **guard)
+            self._write(dst, src.bound * 1e-150,
+                        masked_varying or src.varying, bool(guard),
+                        conditional)
+            return
+        operands = [src.reg if isinstance(src, _RegInfo) else src
+                    for src in srcs]
+        varying = masked_varying or any(
+            src.varying for src in srcs if isinstance(src, _RegInfo))
+        helper = {
+            Opcode.FADD: self.b.fadd, Opcode.FSUB: self.b.fsub,
+            Opcode.FMUL: self.b.fmul, Opcode.FFMA: self.b.ffma,
+            Opcode.FMIN: self.b.fmin, Opcode.FMAX: self.b.fmax,
+            Opcode.FABS: self.b.fabs, Opcode.FNEG: self.b.fneg,
+            Opcode.I2F: self.b.i2f,
+        }[op]
+        helper(dst.reg, *operands, **guard)
+        self._write(dst, bound, varying, bool(guard), conditional)
+
+    def _emit_sfu_op(self, loop_safe: bool = False,
+                     masked_varying: bool = False,
+                     conditional: bool = False) -> None:
+        ops = [op for op in _SFU_OPS
+               if not loop_safe or op in _LOOP_SAFE_OPS]
+        op = self.rng.choice(ops)
+        dst = self._pick_dst()
+        guard = self._guard_kwargs(allow=not masked_varying)
+        src = self._pick_src()
+        varying = masked_varying or src.varying
+        if op in (Opcode.SIN, Opcode.COS):
+            bound = 1.0
+        elif op is Opcode.SQRT:
+            bound = max(1.0, math.sqrt(src.bound)) if src.bound else 1.0
+        elif op is Opcode.RSQRT:
+            # 1/sqrt(smallest positive double); <= 0 inputs yield 0.
+            bound = 4.3e161
+        elif op is Opcode.EXP:
+            bound = 1.02e304  # engine clamps the exponent at 700
+        else:  # LOG: guard the argument above a positive floor first
+            self.b.fmax(dst.reg, src.reg, Imm(1e-6), **guard)
+            self._write(dst, max(src.bound, 1e-6), varying, bool(guard),
+                        conditional)
+            self.b.log(dst.reg, dst.reg, **guard)
+            self._write(dst, 710.0, dst.varying, bool(guard), conditional)
+            return
+        helper = {Opcode.SIN: self.b.sin, Opcode.COS: self.b.cos,
+                  Opcode.SQRT: self.b.sqrt, Opcode.RSQRT: self.b.rsqrt,
+                  Opcode.EXP: self.b.exp}[op]
+        helper(dst.reg, src.reg, **guard)
+        self._write(dst, bound, varying, bool(guard), conditional)
+
+    def _emit_load(self) -> None:
+        slot = self.rng.randrange(self.n_inputs)
+        dst = self._pick_dst()
+        guard = self._guard_kwargs()
+        self.b.ld_global(dst.reg, self.r_gtid.reg,
+                         offset=slot * IN_STRIDE, **guard)
+        bound = 100.0 if self.input_is_float[slot] else 1000.0
+        self._write(dst, bound, True, bool(guard))
+
+    def _emit_store(self) -> None:
+        src = self._pick_src()
+        guard = self._guard_kwargs()
+        slot = self.out_slot % MAX_OUT_SLOTS
+        self.out_slot += 1
+        self.b.st_global(self.r_gtid.reg, src.reg,
+                         offset=OUT_BASE + slot * IN_STRIDE, **guard)
+        self.dyn += 1
+
+    def _emit_ops(self, count: int) -> None:
+        profile = self.profile
+        weights = (profile.int_weight, profile.float_weight,
+                   profile.sfu_weight, profile.mem_weight)
+        for _ in range(count):
+            category = self.rng.choices(("int", "float", "sfu", "mem"),
+                                        weights=weights)[0]
+            if category == "int":
+                self._emit_int_op()
+            elif category == "float":
+                self._emit_float_op()
+            elif category == "sfu":
+                self._emit_sfu_op()
+            elif self.rng.random() < 0.6:
+                self._emit_load()
+            else:
+                self._emit_store()
+
+    # ------------------------------------------------------------------
+    # structured constructs (top level only)
+
+    def _label(self, stem: str) -> str:
+        self.labels += 1
+        return f"{stem}{self.labels}"
+
+    def _emit_barrier(self) -> None:
+        self.b.bar()
+        self.dyn += 1
+
+    def _emit_shared_exchange(self) -> None:
+        """BAR; st.shared[tid]; BAR; ld.shared[(tid + k) % ntid]."""
+        self.features.add("shared")
+        value = self._pick_src()
+        self._emit_barrier()  # isolate from any earlier exchange's reads
+        self.b.st_shared(self.r_tid.reg, value.reg)
+        self._emit_barrier()
+        shift = self.rng.randint(1, max(1, self.profile.block_dim - 1))
+        self.b.iadd(self.r_addr, self.r_tid.reg, shift)
+        self.b.irem(self.r_addr, self.r_addr, self.profile.block_dim)
+        dst = self._pick_dst()
+        self.b.ld_shared(dst.reg, self.r_addr)
+        self.dyn += 3
+        self._write(dst, value.bound, True, False)
+
+    def _emit_diamond(self) -> None:
+        """Single-sided diamond: taken lanes skip a short else-block."""
+        self.features.add("diamond")
+        uniform_only = self.profile.divergence == 0.0
+        if uniform_only:
+            cond = self._pick_src(self._uniform_sources())
+        else:
+            varying = [info for info in self._sources() if info.varying]
+            cond = self._pick_src(varying or None)
+        self.b.setp(self.p_ctrl, cond.reg, self.rng.choice(_CMPS),
+                    Imm(self.rng.randint(-4, 4)))
+        self.dyn += 1
+        if cond.varying:
+            self.divergent = True
+        skip = self._label("skip")
+        self.b.bra(skip, self.p_ctrl)
+        self.dyn += 1
+        for _ in range(self.rng.randint(2, 4)):
+            # Writes under a varying branch reach only some lanes, so
+            # destinations become varying even from uniform sources.
+            kind = self.rng.choices(("int", "float", "sfu"),
+                                    weights=(3, 3, 1))[0]
+            masked = cond.varying
+            if kind == "int":
+                self._emit_int_op(masked_varying=masked, conditional=True)
+            elif kind == "float":
+                self._emit_float_op(masked_varying=masked, conditional=True)
+            else:
+                self._emit_sfu_op(masked_varying=masked, conditional=True)
+        self.b.label(skip)
+
+    def _emit_loop(self) -> None:
+        """Counted loop; body ops never grow register bounds."""
+        self.features.add("loop")
+        profile = self.profile
+        varying_trips = (profile.divergence > 0.0
+                         and self.rng.random() < 0.5)
+        if varying_trips:
+            self.features.add("varying-loop")
+            self.divergent = True
+            # trips = 1 + (tid % max_trips): every thread takes >= 1 trip
+            self.b.irem(self.r_trips, self.r_tid.reg,
+                        Imm(profile.max_loop_trips))
+            self.b.iadd(self.r_trips, self.r_trips, 1)
+            self.dyn += 2
+            trips_operand: Union[Reg, Imm] = self.r_trips
+        else:
+            trips_operand = Imm(self.rng.randint(1, profile.max_loop_trips))
+        self.b.mov(self.r_counter, 0)
+        self.dyn += 1
+        top = self._label("loop")
+        self.b.label(top)
+        body_start_dyn = self.dyn
+        for _ in range(self.rng.randint(2, 4)):
+            kind = self.rng.choices(("int", "sfu"), weights=(4, 1))[0]
+            if kind == "int":
+                self._emit_int_op(loop_safe=True,
+                                  masked_varying=varying_trips)
+            else:
+                self._emit_sfu_op(loop_safe=True,
+                                  masked_varying=varying_trips)
+        self.b.iadd(self.r_counter, self.r_counter, 1)
+        self.b.setp(self.p_ctrl, self.r_counter, CmpOp.LT, trips_operand)
+        self.b.bra(top, self.p_ctrl)
+        body_len = self.dyn - body_start_dyn + 3
+        # _write/dyn above counted one trip; add the worst-case rest.
+        self.dyn += 3 + body_len * (profile.max_loop_trips - 1)
+
+    # ------------------------------------------------------------------
+
+    def _emit_prologue(self) -> None:
+        self.b.gtid(self.r_gtid.reg)
+        self.b.tid(self.r_tid.reg)
+        self.b.ctaid(self.r_ctaid.reg)
+        self.dyn += 3
+        # Land some input data in the pool so early ops have varied
+        # sources, and arm the guard predicate before any predicated op.
+        for _ in range(2):
+            self._emit_load()
+        guard_src = self._pick_src()
+        self.b.setp(self.p_guard, guard_src.reg,
+                    self.rng.choice(_CMPS), self._int_imm())
+        self.dyn += 1
+        self.guard_varying = guard_src.varying
+
+    def _emit_epilogue(self) -> None:
+        written = sorted((info for info in self.pool if info.order >= 0),
+                         key=lambda info: info.order, reverse=True)
+        for info in written[:3]:
+            slot = self.out_slot % MAX_OUT_SLOTS
+            self.out_slot += 1
+            self.b.st_global(self.r_gtid.reg, info.reg,
+                             offset=OUT_BASE + slot * IN_STRIDE)
+            self.dyn += 1
+        self.b.exit()
+        self.dyn += 1
+
+    def _build_memory_init(self) -> List[Tuple[int, Number]]:
+        total = self.profile.total_threads
+        image: List[Tuple[int, Number]] = []
+        for slot in range(self.n_inputs):
+            for thread in range(total):
+                if self.input_is_float[slot]:
+                    value: Number = self.rng.uniform(-100.0, 100.0)
+                else:
+                    value = self.rng.randint(-1000, 1000)
+                image.append((slot * IN_STRIDE + thread, value))
+        return image
+
+    def generate(self) -> FuzzKernel:
+        profile = self.profile
+        # Memory first: loads emitted later must match the image layout,
+        # and a fixed draw order keeps the stream deterministic.
+        memory_init = self._build_memory_init()
+        self._emit_prologue()
+        for phase in range(profile.phases):
+            if phase:
+                self._emit_barrier()
+            if self.rng.random() < profile.shared_exchange:
+                self._emit_shared_exchange()
+            if self.rng.random() < profile.loop_prob:
+                self._emit_loop()
+            if self.rng.random() < profile.divergence or (
+                    profile.divergence == 0.0
+                    and profile.name.endswith("convergent")
+                    and self.rng.random() < 0.3):
+                self._emit_diamond()
+            self._emit_ops(profile.ops_per_phase)
+        self._emit_epilogue()
+        if profile.partial_warp:
+            self.features.add("partial-warp")
+        program = self.b.build()
+        warps_per_block = -(-profile.block_dim // 32)
+        total_warps = profile.grid_dim * warps_per_block
+        # Worst case: every warp on one SM, every dynamic instruction
+        # paying global-memory latency plus DMR replay stalls; 150
+        # cycles per instruction is a generous envelope on top of the
+        # fixed pipeline fill and warp-start stagger.
+        cycle_budget = 4000 + 40 * total_warps + \
+            self.dyn * total_warps * 150
+        return FuzzKernel(
+            program=program,
+            grid_dim=profile.grid_dim,
+            block_dim=profile.block_dim,
+            memory_init=memory_init,
+            cycle_budget=cycle_budget,
+            seed=self.seed,
+            profile_name=profile.name,
+            divergent=self.divergent,
+            features=sorted(self.features),
+        )
+
+
+def generate_kernel(seed: int,
+                    profile: Optional[FuzzProfile] = None) -> FuzzKernel:
+    """Generate the kernel named by *seed* (and optionally *profile*).
+
+    A pure function: the same arguments always produce a byte-identical
+    kernel.  With no profile, one is sampled from the seed's own RNG
+    stream, so variety across seeds costs no determinism.
+    """
+    rng = random.Random(seed)
+    if profile is None:
+        profile = sample_profile(rng)
+    return _Generator(seed, profile, rng).generate()

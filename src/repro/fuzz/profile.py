@@ -1,0 +1,142 @@
+"""Generation profiles: the knobs a fuzzed kernel is shaped by.
+
+A :class:`FuzzProfile` controls everything the generator randomizes
+*around*: launch geometry, instruction-mix weights, divergence
+pressure, RAW-distance bias, loop/barrier structure.  Profiles are
+plain frozen dataclasses so they serialize into kernel payloads and two
+generations from the same (seed, profile) are byte-identical.
+
+``sample_profile`` draws a jittered variant of one of the named presets
+from the generation RNG, which is how ``generate_kernel(seed)`` gets
+per-seed variety while staying a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Shape of one generated kernel (all randomness rides on top)."""
+
+    name: str = "mixed"
+    #: launch geometry
+    grid_dim: int = 2
+    block_warps: int = 2
+    #: drop half of the last warp (partial-warp coverage)
+    partial_warp: bool = False
+    #: barrier-delimited top-level sections
+    phases: int = 2
+    #: straight-line ops emitted per phase
+    ops_per_phase: int = 10
+    #: general registers beyond the reserved identity/scratch set
+    registers: int = 12
+    #: probability a phase opens a divergent diamond
+    divergence: float = 0.35
+    #: probability an emitted op is guard-predicated
+    predication: float = 0.15
+    #: probability a phase contains a bounded counted loop
+    loop_prob: float = 0.35
+    max_loop_trips: int = 3
+    #: probability a phase performs a shared-memory neighbor exchange
+    shared_exchange: float = 0.4
+    #: instruction-mix weights (relative)
+    int_weight: float = 4.0
+    float_weight: float = 3.0
+    sfu_weight: float = 1.0
+    mem_weight: float = 2.0
+    #: probability a source operand comes from the most recent writes
+    #: (higher -> shorter RAW distances, more ReplayQ pressure)
+    raw_bias: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.grid_dim <= 0 or self.block_warps <= 0:
+            raise ConfigError("fuzz profile needs a positive launch geometry")
+        if self.phases <= 0:
+            raise ConfigError("fuzz profile needs at least one phase")
+        if self.registers < 8:
+            raise ConfigError("fuzz profile needs >= 8 registers "
+                              "(5 are reserved)")
+        if self.max_loop_trips <= 0:
+            raise ConfigError("max_loop_trips must be positive")
+        for field_name in ("divergence", "predication", "loop_prob",
+                          "shared_exchange", "raw_bias"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{field_name} must be in [0, 1]")
+
+    @property
+    def block_dim(self) -> int:
+        """Threads per block (partial warps drop half the last warp)."""
+        dim = self.block_warps * 32
+        return dim - 16 if self.partial_warp else dim
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_dim * self.block_dim
+
+
+#: Named presets sampled (with jitter) by :func:`sample_profile`.
+PRESETS: Dict[str, FuzzProfile] = {
+    "mixed": FuzzProfile(name="mixed"),
+    "convergent": FuzzProfile(
+        name="convergent", divergence=0.0, predication=0.0,
+        loop_prob=0.5, shared_exchange=0.5,
+    ),
+    "divergent": FuzzProfile(
+        name="divergent", divergence=0.9, predication=0.3,
+        loop_prob=0.5, shared_exchange=0.3,
+    ),
+    "memory": FuzzProfile(
+        name="memory", mem_weight=6.0, sfu_weight=0.5,
+        shared_exchange=0.8, divergence=0.2,
+    ),
+    "tiny": FuzzProfile(
+        name="tiny", grid_dim=1, block_warps=1, phases=1,
+        ops_per_phase=6, loop_prob=0.3, max_loop_trips=2,
+        shared_exchange=0.3,
+    ),
+}
+
+
+def seed_corpus_profile(index: int) -> FuzzProfile:
+    """Deterministic small profile for the checked-in seed corpus.
+
+    Cycles the preset families at test-friendly sizes so the 64-kernel
+    corpus covers convergent, divergent, memory-heavy and partial-warp
+    shapes while each kernel stays small enough for tier-1 tests.
+    """
+    base = PRESETS[("convergent", "divergent", "memory",
+                    "mixed")[index % 4]]
+    return replace(
+        base,
+        name=f"seed-{base.name}",
+        grid_dim=1 + (index // 4) % 2,
+        block_warps=1 + (index // 8) % 2,
+        partial_warp=(index % 8) == 5,
+        phases=1 + index % 2,
+        ops_per_phase=6,
+        max_loop_trips=2,
+    )
+
+
+def sample_profile(rng: random.Random) -> FuzzProfile:
+    """Draw a jittered preset from the generation RNG."""
+    base = PRESETS[rng.choice(("mixed", "convergent", "divergent",
+                               "memory"))]
+    return replace(
+        base,
+        grid_dim=rng.randint(1, 2),
+        block_warps=rng.randint(1, 2),
+        partial_warp=rng.random() < 0.2,
+        phases=rng.randint(1, 3),
+        ops_per_phase=rng.randint(6, 14),
+        registers=rng.randint(10, 14),
+        max_loop_trips=rng.randint(2, 3),
+        raw_bias=rng.choice((0.3, 0.6, 0.85)),
+    )

@@ -1,0 +1,221 @@
+"""Canonical serialization and content addressing for fuzzed kernels.
+
+A :class:`FuzzKernel` bundles everything needed to replay one generated
+scenario: the program, launch geometry, initial memory image, a
+worst-case cycle budget and provenance metadata.  ``canonical_bytes``
+renders it to a byte string in which every float travels as its exact
+``float.hex`` bit pattern (``repr`` rounding could conflate two values,
+and ``0.0`` vs ``-0.0`` must stay distinct), so the SHA-256
+``kernel_digest`` is stable across processes and platforms — the same
+content-addressing discipline the result cache uses for configurations.
+
+``memory_digest`` applies the same canonical-float treatment to a
+memory image, giving the bit-identity check a single comparable value
+per engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.common.config import LaunchConfig
+from repro.common.errors import ConfigError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, Opcode
+from repro.isa.operands import Imm, Reg, SReg, SpecialReg
+from repro.kernel.program import Program
+
+PAYLOAD_VERSION = 1
+
+Number = Union[int, float]
+
+
+def _encode_number(value: Number) -> Any:
+    """Ints pass through; floats become tagged exact-hex pairs."""
+    if isinstance(value, bool):
+        raise ConfigError("booleans are not fuzz kernel values")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isinf(value) or math.isnan(value):
+            # Non-finite values never enter a well-formed kernel; encode
+            # them anyway so a digest of a broken image is still stable.
+            return ["f", repr(value)]
+        return ["f", value.hex()]
+    raise ConfigError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _decode_number(payload: Any) -> Number:
+    if isinstance(payload, int):
+        return payload
+    if isinstance(payload, list) and len(payload) == 2 and payload[0] == "f":
+        return float.fromhex(payload[1]) if "0x" in payload[1] \
+            else float(payload[1])
+    raise ConfigError(f"malformed number payload: {payload!r}")
+
+
+def _encode_operand(operand: Any) -> Any:
+    if isinstance(operand, Reg):
+        return ["r", operand.idx]
+    if isinstance(operand, SReg):
+        return ["s", operand.kind.name]
+    if isinstance(operand, Imm):
+        return ["i", _encode_number(operand.value)]
+    raise ConfigError(f"cannot encode operand {operand!r}")
+
+
+def _decode_operand(payload: Any) -> Any:
+    tag, value = payload
+    if tag == "r":
+        return Reg(value)
+    if tag == "s":
+        return SReg(SpecialReg[value])
+    if tag == "i":
+        return Imm(_decode_number(value))
+    raise ConfigError(f"malformed operand payload: {payload!r}")
+
+
+def _encode_instruction(inst: Instruction) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"op": inst.opcode.name}
+    if inst.dst is not None:
+        out["dst"] = inst.dst.idx
+    if inst.srcs:
+        out["srcs"] = [_encode_operand(src) for src in inst.srcs]
+    if inst.pred is not None:
+        out["pred"] = inst.pred
+        if inst.pred_neg:
+            out["pred_neg"] = True
+    if inst.pdst is not None:
+        out["pdst"] = inst.pdst
+    if inst.psrc is not None:
+        out["psrc"] = inst.psrc
+    if inst.cmp is not None:
+        out["cmp"] = inst.cmp.name
+    if inst.target is not None:
+        out["target"] = inst.target
+    if inst.offset:
+        out["offset"] = inst.offset
+    return out
+
+
+def _decode_instruction(payload: Dict[str, Any]) -> Instruction:
+    return Instruction(
+        opcode=Opcode[payload["op"]],
+        dst=Reg(payload["dst"]) if "dst" in payload else None,
+        srcs=tuple(_decode_operand(src) for src in payload.get("srcs", ())),
+        pred=payload.get("pred"),
+        pred_neg=bool(payload.get("pred_neg", False)),
+        pdst=payload.get("pdst"),
+        psrc=payload.get("psrc"),
+        cmp=CmpOp[payload["cmp"]] if "cmp" in payload else None,
+        target=payload.get("target"),
+        offset=payload.get("offset", 0),
+    )
+
+
+@dataclass
+class FuzzKernel:
+    """One replayable fuzz scenario: program + launch + inputs + budget."""
+
+    program: Program
+    grid_dim: int
+    block_dim: int
+    #: initial global-memory image as (addr, value) pairs
+    memory_init: List[Tuple[int, Number]]
+    #: declared worst-case cycle bound for any legal schedule
+    cycle_budget: int
+    seed: int
+    profile_name: str
+    #: True when any branch or loop-trip count depends on a varying value
+    divergent: bool
+    features: List[str] = field(default_factory=list)
+
+    @property
+    def launch(self) -> LaunchConfig:
+        return LaunchConfig(grid_dim=self.grid_dim, block_dim=self.block_dim)
+
+    def initial_memory(self) -> Dict[int, Number]:
+        """Fresh plain-dict memory image for the scalar reference."""
+        return dict(self.memory_init)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "version": PAYLOAD_VERSION,
+            "seed": self.seed,
+            "profile": self.profile_name,
+            "divergent": self.divergent,
+            "features": sorted(self.features),
+            "grid_dim": self.grid_dim,
+            "block_dim": self.block_dim,
+            "cycle_budget": self.cycle_budget,
+            "memory_init": [[addr, _encode_number(value)]
+                            for addr, value in sorted(self.memory_init)],
+            "program": {
+                "name": self.program.name,
+                "instructions": [_encode_instruction(inst)
+                                 for inst in self.program.instructions],
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FuzzKernel":
+        version = payload.get("version")
+        if version != PAYLOAD_VERSION:
+            raise ConfigError(f"unsupported fuzz kernel payload version "
+                              f"{version!r}")
+        instructions = [_decode_instruction(inst)
+                        for inst in payload["program"]["instructions"]]
+        # from_instructions recomputes reconvergence from the CFG, so the
+        # payload never has to carry (or trust) analysis results.
+        program = Program.from_instructions(payload["program"]["name"],
+                                            instructions)
+        return cls(
+            program=program,
+            grid_dim=payload["grid_dim"],
+            block_dim=payload["block_dim"],
+            memory_init=[(addr, _decode_number(value))
+                         for addr, value in payload["memory_init"]],
+            cycle_budget=payload["cycle_budget"],
+            seed=payload["seed"],
+            profile_name=payload["profile"],
+            divergent=payload["divergent"],
+            features=list(payload["features"]),
+        )
+
+    def canonical_bytes(self) -> bytes:
+        """The exact byte string the kernel digest is taken over."""
+        return json.dumps(self.to_payload(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+
+def kernel_digest(kernel: FuzzKernel) -> str:
+    return kernel.digest()
+
+
+def memory_digest(memory: Union[Dict[int, Number],
+                                Iterable[Tuple[int, Number]]]) -> str:
+    """Content digest of a memory image, zero-valued words elided.
+
+    Both engines leave untouched addresses at the implicit zero default,
+    but the simulator materializes words it stored even when the stored
+    value is 0 while the reference dict may not hold that address at
+    all.  Dropping exact-int-zero words makes the digest a function of
+    the observable contents alone.
+    """
+    if isinstance(memory, dict):
+        items = memory.items()
+    else:
+        items = list(memory)
+    words = sorted((addr, value) for addr, value in items
+                   if not (isinstance(value, int) and value == 0))
+    canonical = json.dumps(
+        [[addr, _encode_number(value)] for addr, value in words],
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

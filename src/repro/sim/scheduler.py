@@ -4,6 +4,13 @@ The paper's baseline SM has a single scheduler that issues one
 warp-instruction per cycle to one of the three execution-unit types
 (Section 2.2).  Two standard policies are provided: loose round-robin
 (the default) and greedy-then-oldest.
+
+A third, orthogonal mode explores the *space* of legal schedules
+(GPUMC-style stateless enumeration): constructed with an integer
+``seed``, the scheduler picks uniformly among all issuable warps at
+every decision point, where decision ``k`` is a pure function of
+``(seed, k)`` — no RNG state is carried, so any schedule can be
+replayed from its seed alone and two SMs never share a stream.
 """
 
 from __future__ import annotations
@@ -12,6 +19,29 @@ from typing import Callable, List, Optional
 
 from repro.common.config import SchedulerPolicy
 from repro.sim.warp import Warp
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a high-quality 64-bit bijective mixer."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def derive_scheduler_seed(schedule_seed: Optional[int], sm_id: int,
+                          scheduler_index: int) -> Optional[int]:
+    """Per-scheduler sub-seed so no two schedulers replay one stream.
+
+    Pure mixing of (root seed, SM id, scheduler index): the whole
+    machine's interleaving remains a function of the root seed.
+    """
+    if schedule_seed is None:
+        return None
+    return _mix64(schedule_seed * _GOLDEN + (sm_id << 8) + scheduler_index)
 
 
 class WarpScheduler:
@@ -22,12 +52,19 @@ class WarpScheduler:
     scan depth — a direct read on scheduler pressure).  The count falls
     out of the selection loops for free; with no probe there is zero
     extra work.
+
+    With *seed* set, the policy is bypassed: each decision considers
+    every issuable warp and picks one by hashing ``(seed, decision
+    index)``, enumerating the legal-interleaving space statelessly.
     """
 
     def __init__(self, policy: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN,
-                 probe: Optional[object] = None):
+                 probe: Optional[object] = None,
+                 seed: Optional[int] = None):
         self.policy = policy
         self.probe = probe
+        self.seed = seed
+        self._decisions = 0
         self._last_index = -1
         self._greedy_warp: Optional[int] = None
 
@@ -40,13 +77,31 @@ class WarpScheduler:
         """
         if not warps:
             return None
-        if self.policy is SchedulerPolicy.GREEDY_THEN_OLDEST:
+        if self.seed is not None:
+            warp, scanned = self._select_seeded(warps, cycle, is_ready)
+        elif self.policy is SchedulerPolicy.GREEDY_THEN_OLDEST:
             warp, scanned = self._select_gto(warps, cycle, is_ready)
         else:
             warp, scanned = self._select_rr(warps, cycle, is_ready)
         if self.probe is not None:
             self.probe.on_schedule(scanned, warp is not None)
         return warp
+
+    def _select_seeded(self, warps: List[Warp], cycle: int,
+                       is_ready: Callable[[Warp], bool]):
+        # Every issuable warp is a candidate; the choice at decision k
+        # is mix(seed + k*GOLDEN) mod #candidates.  Cycles with no
+        # candidate consume no decision index, so the decision sequence
+        # depends only on the choice points, not on stall timing.
+        candidates = [
+            warp for warp in warps
+            if warp.can_issue(cycle) and is_ready(warp)
+        ]
+        if not candidates:
+            return None, len(warps)
+        pick = _mix64(self.seed + self._decisions * _GOLDEN) % len(candidates)
+        self._decisions += 1
+        return candidates[pick], len(warps)
 
     def _select_rr(self, warps: List[Warp], cycle: int,
                    is_ready: Callable[[Warp], bool]):

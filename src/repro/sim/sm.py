@@ -26,7 +26,7 @@ from repro.kernel.program import Program
 from repro.sim.events import IssueEvent
 from repro.sim.executor import ExecResult, Executor, FaultHook
 from repro.sim.memory import GlobalMemory
-from repro.sim.scheduler import WarpScheduler
+from repro.sim.scheduler import WarpScheduler, derive_scheduler_seed
 from repro.sim.warp import ThreadBlock, Warp
 
 #: Hard cap on SM cycles; hitting it means livelock (kernel bug).
@@ -63,8 +63,11 @@ class SM:
                                  engine=engine)
         self.executor.bind_program(program)
         self._schedulers = [
-            WarpScheduler(config.scheduler, probe=probe)
-            for _ in range(config.num_schedulers)
+            WarpScheduler(
+                config.scheduler, probe=probe,
+                seed=derive_scheduler_seed(config.schedule_seed, sm_id, index),
+            )
+            for index in range(config.num_schedulers)
         ]
         self.stats = MetricsRegistry()
         self.cycle = 0

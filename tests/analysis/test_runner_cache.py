@@ -92,6 +92,23 @@ class TestKeyCompleteness:
             "scan", dmr, runner.config.with_cluster_size(8)
         )
 
+    def test_schedule_seed_in_key(self):
+        """Seeded interleavings must never alias the policy schedule.
+
+        Timing metrics differ per schedule, so serving schedule A's
+        cached result for schedule B would silently corrupt fig-sched
+        distributions.  ``config_fingerprint`` expands every GPUConfig
+        field, which is what threads ``schedule_seed`` into the key —
+        this pins that contract.
+        """
+        runner = make_runner()
+        dmr = DMRConfig.paper_default()
+        keys = {
+            runner._key("scan", dmr, runner.config.with_schedule_seed(s))
+            for s in (None, 0, 1, 7)
+        }
+        assert len(keys) == 4
+
 
 class TestInMemoryCache:
     def test_identity_preserved(self):

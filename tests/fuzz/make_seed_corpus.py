@@ -1,0 +1,67 @@
+"""Regenerate the checked-in seed corpus and its golden digests.
+
+Run from the repo root after any intentional change to the generator
+or the serialization format::
+
+    PYTHONPATH=src python tests/fuzz/make_seed_corpus.py
+
+Writes 64 kernels to ``tests/fuzz/corpus/`` (cycling the convergent /
+divergent / memory / mixed seed-profile families at test-friendly
+sizes) and ``tests/fuzz/corpus/GOLDEN.json`` mapping each kernel digest
+to the scalar reference's result-memory digest.  The differential tests
+replay these exact files, so regenerating them re-baselines the suite —
+commit the diff deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+from pathlib import Path
+
+from repro.fuzz import (Corpus, corpus_digest, generate_kernel, kernel_seed,
+                        memory_digest, reference_memory, seed_corpus_profile,
+                        validate_kernel)
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+GOLDEN_PATH = CORPUS_DIR / "GOLDEN.json"
+CAMPAIGN_SEED = 0xC0FFEE
+COUNT = 64
+
+
+def main() -> int:
+    if CORPUS_DIR.exists():
+        shutil.rmtree(CORPUS_DIR)
+    corpus = Corpus(CORPUS_DIR)
+    golden = {}
+    failures = 0
+    for index in range(COUNT):
+        kernel = generate_kernel(kernel_seed(CAMPAIGN_SEED, index),
+                                 seed_corpus_profile(index))
+        outcome = validate_kernel(kernel)
+        if not outcome.ok:
+            print(f"kernel {index} (seed {kernel.seed:#x}) failed "
+                  f"validation: {outcome.errors}", file=sys.stderr)
+            failures += 1
+            continue
+        digest, _ = corpus.add(kernel)
+        golden[digest] = {
+            "result": memory_digest(reference_memory(kernel)),
+            "divergent": kernel.divergent,
+            "seed": kernel.seed,
+            "profile": kernel.profile_name,
+            "features": sorted(kernel.features),
+        }
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    divergent = sum(entry["divergent"] for entry in golden.values())
+    print(f"wrote {len(golden)} kernels ({divergent} divergent) to "
+          f"{CORPUS_DIR}")
+    print(f"corpus digest: {corpus_digest(corpus)}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Cache keys must separate schedule seeds everywhere results persist.
+
+Three caches can hold schedule-dependent payloads: the suite runner's
+result cache (covered in tests/analysis/test_runner_cache.py), the
+fault-campaign run cache, and the fig-sched sweep cache.  Each key is
+built from ``config_fingerprint``, which expands every GPUConfig field
+— these tests pin that ``schedule_seed`` actually reaches all of them,
+and that the fuzz-sweep key separates kernels and DMR configs too.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sched_sweep import sched_run_key
+from repro.common.config import DMRConfig, GPUConfig
+from repro.faults.campaign import CampaignSpec, fault_run_key
+from repro.faults.models import TransientFault
+from repro.fuzz.differential import fuzz_gpu_config
+from repro.isa.opcodes import UnitType
+
+
+def _fault():
+    return TransientFault(sm_id=0, hw_lane=3, unit=UnitType.SP,
+                          bit=7, cycle=100)
+
+
+def _spec(schedule_seed=None):
+    return CampaignSpec(
+        workload="scan",
+        config=GPUConfig.small(2).with_schedule_seed(schedule_seed),
+        dmr=DMRConfig.paper_default(),
+    )
+
+
+class TestFaultRunKey:
+    def test_schedule_seed_separates_campaign_runs(self):
+        fault = _fault()
+        keys = {fault_run_key(_spec(seed), fault)
+                for seed in (None, 0, 1, 5)}
+        assert len(keys) == 4
+
+    def test_same_schedule_seed_same_key(self):
+        fault = _fault()
+        assert fault_run_key(_spec(3), fault) == \
+            fault_run_key(_spec(3), fault)
+
+
+class TestSchedSweepKey:
+    def test_schedule_seed_separates_sweep_runs(self):
+        dmr = DMRConfig.paper_default()
+        keys = {
+            sched_run_key("deadbeef" * 8,
+                          fuzz_gpu_config(schedule_seed=seed), dmr)
+            for seed in (None, 0, 1, 7)
+        }
+        assert len(keys) == 4
+
+    def test_kernel_digest_reaches_the_key(self):
+        config = fuzz_gpu_config(schedule_seed=0)
+        dmr = DMRConfig.paper_default()
+        assert sched_run_key("a" * 64, config, dmr) != \
+            sched_run_key("b" * 64, config, dmr)
+
+    def test_dmr_config_reaches_the_key(self):
+        config = fuzz_gpu_config(schedule_seed=0)
+        assert sched_run_key("a" * 64, config,
+                             DMRConfig.paper_default()) != \
+            sched_run_key("a" * 64, config,
+                          DMRConfig.paper_default().with_replayq(2))

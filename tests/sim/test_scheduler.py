@@ -1,7 +1,7 @@
 """Unit tests for warp schedulers."""
 
 from repro.common.config import SchedulerPolicy
-from repro.sim.scheduler import WarpScheduler
+from repro.sim.scheduler import WarpScheduler, derive_scheduler_seed
 from repro.sim.warp import ThreadBlock, Warp
 
 
@@ -71,3 +71,63 @@ class TestGreedyThenOldest:
         assert sched.select(warps, 0, always_ready).warp_id == 1
         # ...and now it greedily stays on warp 1
         assert sched.select(warps, 0, always_ready).warp_id == 1
+
+
+class TestSeededExploration:
+    """GPUMC-style stateless enumeration: seed bypasses the policy."""
+
+    def _picks(self, seed, count=16, n=4):
+        warps = make_warps(n)
+        sched = WarpScheduler(SchedulerPolicy.ROUND_ROBIN, seed=seed)
+        return [sched.select(warps, 0, always_ready).warp_id
+                for _ in range(count)]
+
+    def test_same_seed_replays_identically(self):
+        assert self._picks(7) == self._picks(7)
+
+    def test_different_seeds_explore_different_interleavings(self):
+        sequences = {tuple(self._picks(seed)) for seed in range(8)}
+        assert len(sequences) > 1
+
+    def test_unseeded_default_is_plain_round_robin(self):
+        assert self._picks(None, count=6, n=3) == [0, 1, 2, 0, 1, 2]
+
+    def test_only_ready_warps_are_candidates(self):
+        warps = make_warps(4)
+        warps[2].barrier_blocked = True
+        sched = WarpScheduler(SchedulerPolicy.ROUND_ROBIN, seed=11)
+        picks = {sched.select(warps, 0, always_ready).warp_id
+                 for _ in range(32)}
+        assert 2 not in picks
+        assert picks <= {0, 1, 3}
+
+    def test_none_when_nothing_ready(self):
+        warps = make_warps(2)
+        for warp in warps:
+            warp.barrier_blocked = True
+        sched = WarpScheduler(SchedulerPolicy.ROUND_ROBIN, seed=3)
+        assert sched.select(warps, 0, always_ready) is None
+
+    def test_stalls_consume_no_decision_index(self):
+        """A no-candidate cycle must not shift later decisions, so a
+        schedule replays exactly regardless of stall timing."""
+        warps = make_warps(3)
+        reference = WarpScheduler(SchedulerPolicy.ROUND_ROBIN, seed=5)
+        expected = [reference.select(warps, 0, always_ready).warp_id
+                    for _ in range(8)]
+
+        stalled = WarpScheduler(SchedulerPolicy.ROUND_ROBIN, seed=5)
+        picks = []
+        for i in range(8):
+            if i == 3:  # interpose a cycle where nothing can issue
+                assert stalled.select(warps, 0, lambda w: False) is None
+            picks.append(stalled.select(warps, 0, always_ready).warp_id)
+        assert picks == expected
+
+    def test_derive_scheduler_seed_separates_streams(self):
+        subs = {derive_scheduler_seed(42, sm_id, index)
+                for sm_id in range(4) for index in range(2)}
+        assert len(subs) == 8
+        assert derive_scheduler_seed(None, 0, 0) is None
+        assert derive_scheduler_seed(42, 1, 0) == \
+            derive_scheduler_seed(42, 1, 0)
