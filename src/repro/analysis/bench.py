@@ -32,7 +32,10 @@ from repro.sim.gpu import GPU
 from repro.workloads import all_workloads
 
 #: engines compared by every benchmark
-ENGINES: Tuple[str, str] = ("scalar", "auto")
+#: engines every benchmark runs side by side, in one process, over the
+#: same programs: the scalar oracle, the per-issue vector engine, and
+#: the trace-fused megakernel engine
+ENGINES: Tuple[str, str, str] = ("scalar", "vector", "mega")
 
 #: static unrolled ALU ops per loop iteration in the synthetic kernels
 _UNROLL = 8
@@ -131,13 +134,28 @@ def _time_launch(program: Program, launch: LaunchConfig,
     return elapsed, result.stats.value("thread_instructions")
 
 
+def _speedups(entry: Dict[str, dict], unit: str = "seconds") -> None:
+    """Attach the three engine ratios to one benchmark *entry* in place.
+
+    ``speedup`` is the headline scalar-over-mega ratio; ``speedup_vector``
+    is scalar-over-vector; ``speedup_mega_vs_vector`` isolates what
+    region fusion adds on top of per-issue vectorization.
+    """
+    scalar = entry["scalar"][unit]
+    vector = entry["vector"][unit]
+    mega = entry["mega"][unit]
+    entry["speedup"] = scalar / mega
+    entry["speedup_vector"] = scalar / vector
+    entry["speedup_mega_vs_vector"] = vector / mega
+
+
 def bench_throughput(iters: int = 200, blocks: int = 2,
                      block_dim: int = 128) -> Dict[str, dict]:
-    """Instruction-throughput microbenchmarks, both engines.
+    """Instruction-throughput microbenchmarks, all three engines.
 
     Returns per-kernel ``{engine: {seconds, thread_instructions,
-    minst_per_s}, speedup}``; ``speedup`` is scalar-time over
-    vector-time (>1 means the vector engine wins).
+    minst_per_s}}`` plus the ratio keys of :func:`_speedups` (>1 means
+    the faster engine wins).
     """
     launch = LaunchConfig(grid_dim=blocks, block_dim=block_dim)
     report: Dict[str, dict] = {}
@@ -151,13 +169,13 @@ def bench_throughput(iters: int = 200, blocks: int = 2,
                 "thread_instructions": thread_insts,
                 "minst_per_s": thread_insts / seconds / 1e6,
             }
-        entry["speedup"] = entry["scalar"]["seconds"] / entry["auto"]["seconds"]
+        _speedups(entry)
         report[name] = entry
     return report
 
 
 def bench_workloads(scale: float = 0.5, seed: int = 0) -> Dict[str, dict]:
-    """End-to-end workload wall-clock, both engines."""
+    """End-to-end workload wall-clock, all three engines."""
     report: Dict[str, dict] = {}
     for name, workload in all_workloads().items():
         entry: Dict[str, object] = {}
@@ -167,14 +185,13 @@ def bench_workloads(scale: float = 0.5, seed: int = 0) -> Dict[str, dict]:
             start = time.perf_counter()
             gpu.launch(run.program, run.launch, memory=run.memory)
             entry[engine] = {"seconds": time.perf_counter() - start}
-        entry["speedup"] = (entry["scalar"]["seconds"]
-                            / entry["auto"]["seconds"])
+        _speedups(entry)
         report[name] = entry
     return report
 
 
 def bench_fig9b(scale: float = 0.25, seed: int = 0) -> Dict[str, dict]:
-    """Cold (cache-disabled) Figure 9(b) regeneration, both engines."""
+    """Cold (cache-disabled) Figure 9(b) regeneration, all engines."""
     from repro.analysis.overhead_sweep import run_figure9b
     from repro.analysis.runner import SuiteRunner, experiment_config
 
@@ -185,7 +202,7 @@ def bench_fig9b(scale: float = 0.25, seed: int = 0) -> Dict[str, dict]:
         start = time.perf_counter()
         run_figure9b(runner)
         entry[engine] = {"seconds": time.perf_counter() - start}
-    entry["speedup"] = entry["scalar"]["seconds"] / entry["auto"]["seconds"]
+    _speedups(entry)
     return {"fig9b_cold": entry}
 
 
@@ -277,12 +294,16 @@ def format_campaign_bench(payload: dict) -> str:
 def run_bench(scale: float = 0.5, seed: int = 0, iters: int = 200,
               quick: bool = False) -> dict:
     """Full benchmark sweep; returns the ``BENCH_exec.json`` payload."""
+    from repro.common.config import GPUConfig
+
     payload = {
         "benchmark": "exec-engine",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "scale": scale,
         "seed": seed,
+        "engines": list(ENGINES),
+        "schedule_seed": GPUConfig().schedule_seed,
         "throughput": bench_throughput(iters=iters),
     }
     if not quick:
@@ -302,12 +323,15 @@ def format_bench(payload: dict) -> str:
     rows = [
         [name,
          f"{entry['scalar']['minst_per_s']:.2f}",
-         f"{entry['auto']['minst_per_s']:.2f}",
-         f"{entry['speedup']:.2f}x"]
+         f"{entry['vector']['minst_per_s']:.2f}",
+         f"{entry['mega']['minst_per_s']:.2f}",
+         f"{entry['speedup']:.2f}x",
+         f"{entry['speedup_mega_vs_vector']:.2f}x"]
         for name, entry in payload["throughput"].items()
     ]
     sections.append(format_table(
-        ["kernel", "scalar Minst/s", "vector Minst/s", "speedup"], rows,
+        ["kernel", "scalar Minst/s", "vector Minst/s", "mega Minst/s",
+         "mega/scalar", "mega/vector"], rows,
         title="Instruction throughput (full warps, no divergence)",
     ))
     for key, title in (("workloads", "Workload wall-clock"),
@@ -317,13 +341,14 @@ def format_bench(payload: dict) -> str:
         rows = [
             [name,
              f"{entry['scalar']['seconds'] * 1000:.1f}",
-             f"{entry['auto']['seconds'] * 1000:.1f}",
+             f"{entry['vector']['seconds'] * 1000:.1f}",
+             f"{entry['mega']['seconds'] * 1000:.1f}",
              f"{entry['speedup']:.2f}x"]
             for name, entry in payload[key].items()
         ]
         sections.append(format_table(
-            ["name", "scalar ms", "vector ms", "speedup"], rows,
-            title=title,
+            ["name", "scalar ms", "vector ms", "mega ms", "mega/scalar"],
+            rows, title=title,
         ))
     return "\n\n".join(sections)
 

@@ -136,11 +136,13 @@ class SuiteRunner:
     ``jobs`` sets the default fan-out for :meth:`run_many` /
     :meth:`run_suite` (1 = serial in-process).
 
-    ``engine`` pins the execution engine ("scalar"/"auto"; default
-    the GPU's own resolution).  The cache key deliberately does *not*
-    include it: the engines are bit-identical by contract (enforced by
-    the differential suite), so their results are interchangeable.
-    Benchmarks that time a specific engine must disable the cache.
+    ``engine`` pins the execution engine ("scalar"/"vector"/"mega"/
+    "auto"; default the GPU's own resolution).  The cache key includes
+    the *resolved* engine: the engines are bit-identical by contract,
+    but serving one engine's cached result to another would let a
+    cache hit mask an engine divergence (the differential suite would
+    compare an engine against its own cached twin), so each engine
+    keeps separate entries.
 
     Fan-outs are supervised (:mod:`repro.resilience`): worker deaths,
     broken pools and flaky exceptions retry with deterministic backoff,
@@ -191,12 +193,14 @@ class SuiteRunner:
         """Content address of one run.
 
         Must cover every input of the simulation — in particular
-        ``scale``, ``seed`` and ``check_outputs``: omitting them would
-        alias two runners' entries once the cache persists across
-        processes.
+        ``scale``, ``seed``, ``check_outputs`` and the resolved
+        engine: omitting them would alias two runners' entries once
+        the cache persists across processes.
         """
+        engine = (self.engine or os.environ.get("REPRO_EXEC")
+                  or config.engine)
         return result_key(name, dmr, config, self.scale, self.seed,
-                          self.check_outputs, self.obs)
+                          self.check_outputs, self.obs, engine)
 
     def _spec(self, name: str, dmr: Optional[DMRConfig],
               config: Optional[GPUConfig]) -> RunSpec:

@@ -81,6 +81,15 @@ class SchedulerPolicy(enum.Enum):
     GREEDY_THEN_OLDEST = "gto"
 
 
+#: execution engines a simulation can be pinned to.  ``scalar`` is the
+#: per-lane interpreter (the differential oracle), ``vector`` the
+#: per-issue lane-vectorized engine (:mod:`repro.sim.vexec`), ``mega``
+#: the trace-fused megakernel engine (:mod:`repro.sim.megakernel`,
+#: vexec plus region fusion and cross-SM batching).  ``auto`` resolves
+#: to the fastest engine that preserves bit-identity — currently mega.
+ENGINE_NAMES = ("auto", "scalar", "vector", "mega")
+
+
 @dataclass(frozen=True)
 class GPUConfig:
     """Static parameters of the simulated GPU (paper Table 3 + Section 2).
@@ -133,6 +142,22 @@ class GPUConfig:
     # bound (one cycle per serialized bank access).
     model_bank_conflicts: bool = False
 
+    # Execution engine (see ENGINE_NAMES).  Part of the config so every
+    # persistent cache key derived from a config fingerprint separates
+    # engines; an explicit GPU(engine=...) argument or $REPRO_EXEC still
+    # overrides this per launch.
+    engine: str = "auto"
+
+    # Event-driven cycle skipping: when every resident warp is stalled
+    # (latency, ReplayQ drain, barrier), the SM jumps its cycle counter
+    # to the next wakeup instead of ticking idle cycles one by one.
+    # Bit-identical by construction — skipped spans charge the same
+    # stall/idle counters and probe samples the burned cycles would have
+    # (asserted by the cycle-skip invariance tests) — so this is a pure
+    # speed knob; it is auto-disabled under Chrome tracing, which records
+    # per-cycle instants.
+    cycle_skip: bool = True
+
     # Cycles between successive warps' first issue.  Real SMs never have
     # their warps aligned (fetch/decode contention and memory-latency
     # jitter stagger them); without this, a lock-step round-robin
@@ -177,6 +202,15 @@ class GPUConfig:
             raise ConfigError(
                 f"schedule_seed must be >= 0 or None, got {self.schedule_seed}"
             )
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigError(
+                f"unknown execution engine {self.engine!r}; expected one "
+                f"of {ENGINE_NAMES}"
+            )
+        if not isinstance(self.cycle_skip, bool):
+            raise ConfigError(
+                f"cycle_skip must be a bool, got {self.cycle_skip!r}"
+            )
 
     @property
     def clusters_per_warp(self) -> int:
@@ -205,6 +239,10 @@ class GPUConfig:
     def with_schedule_seed(self, seed: Optional[int]) -> "GPUConfig":
         """Return a copy exploring the interleaving named by *seed*."""
         return replace(self, schedule_seed=seed)
+
+    def with_engine(self, engine: str) -> "GPUConfig":
+        """Return a copy pinned to execution engine *engine*."""
+        return replace(self, engine=engine)
 
     def to_dict(self) -> Dict[str, Any]:
         """Flat dict form, convenient for experiment logs."""

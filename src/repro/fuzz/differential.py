@@ -1,16 +1,18 @@
-"""Differential oracle: scalar reference vs both simulator engines.
+"""Differential oracle: scalar reference vs every simulator engine.
 
-Every fuzzed kernel is executed three ways before it may enter a
+Every fuzzed kernel is executed four ways before it may enter a
 corpus:
 
 1. the barrier-aware scalar reference interpreter
    (:mod:`repro.sim.scalar_ref`) over plain Python dict memories — the
    semantic ground truth, with no pipeline model at all;
 2. the full simulator with the scalar execution engine;
-3. the full simulator with the vectorized engine (``repro.sim.vexec``,
-   selected via ``engine="auto"``).
+3. the full simulator with the per-issue vectorized engine
+   (``repro.sim.vexec``, ``engine="vector"``);
+4. the full simulator with the trace-fused megakernel engine
+   (``repro.sim.megakernel``, ``engine="mega"``).
 
-All three final global-memory images must be *bit-identical* (equal
+All final global-memory images must be *bit-identical* (equal
 canonical digests, exact float bit patterns included).  Any mismatch is
 a simulator bug by definition, and the kernel payload reproduces it.
 
@@ -98,7 +100,7 @@ class Validation:
 
 def validate_kernel(kernel: FuzzKernel,
                     config: Optional[GPUConfig] = None) -> Validation:
-    """Check bit-identity of reference, scalar engine and vexec."""
+    """Check bit-identity of reference, scalar, vector and mega."""
     outcome = Validation(kernel_digest=kernel.digest(),
                          reference_digest="")
     try:
@@ -106,7 +108,7 @@ def validate_kernel(kernel: FuzzKernel,
     except Exception as exc:  # noqa: BLE001 - report, don't crash the run
         outcome.errors.append(f"reference: {type(exc).__name__}: {exc}")
         return outcome
-    for engine in ("scalar", "auto"):
+    for engine in ("scalar", "vector", "mega"):
         try:
             result = run_kernel(kernel, config=config, engine=engine)
         except Exception as exc:  # noqa: BLE001

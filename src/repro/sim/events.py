@@ -17,7 +17,7 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import UnitType
 
 
-@dataclass
+@dataclass(slots=True)
 class IssueEvent:
     """One dynamic warp-instruction issue.
 

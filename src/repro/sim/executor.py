@@ -48,8 +48,11 @@ _SETP_CMP = {
     CmpOp.GT: operator.gt, CmpOp.GE: operator.ge,
 }
 
-#: engines an :class:`Executor` can be pinned to
-ENGINES = ("auto", "scalar")
+#: engines an :class:`Executor` can be pinned to: ``scalar`` (per-lane
+#: interpreter, the oracle), ``vector`` (per-issue lane-vectorized),
+#: ``mega`` (vector + trace-fused regions and cross-SM warp batching),
+#: ``auto`` (the fastest bit-identical engine — currently mega)
+ENGINES = ("auto", "scalar", "vector", "mega")
 
 
 def _wrap_i32(value: int) -> int:
@@ -254,7 +257,11 @@ class Executor:
         self.fault_hook = fault_hook or FaultHook()
         self.engine = engine
         self._faulty = fault_hook is not None
-        self._vector_enabled = engine == "auto"
+        self._vector_enabled = engine != "scalar"
+        self._fuse_requested = engine in ("auto", "mega")
+        #: region-fusion context (a WarpBatcher); attached by the SM/GPU
+        #: only when nothing observes issues at instruction granularity
+        self._mega: Optional[object] = None
         self._decoded: Optional[list] = None
         self._adhoc: Dict[Instruction, vexec.DecodedInst] = {}
         #: issue counts per engine (diagnostics; not part of the stats registry so
@@ -266,6 +273,11 @@ class Executor:
         """Attach *program*'s decode cache for O(1) per-pc lookups."""
         self._decoded = (vexec.decoded(program)
                          if self._vector_enabled else None)
+
+    @property
+    def fusion_capable(self) -> bool:
+        """Whether this executor may ever run fused regions."""
+        return self._fuse_requested and not self._faulty
 
     # ------------------------------------------------------------------
     def _operand_value(self, warp: Warp, slot: int, operand) -> object:
@@ -328,6 +340,15 @@ class Executor:
         immediately; timing is the SM's job.  The returned event captures
         per-lane inputs and results for DMR re-execution.
         """
+        stash = warp.mega_stash
+        if stash is not None:
+            return self._consume_stash(warp, stash, inst, pc, cycle)
+        mega = self._mega
+        if mega is not None and not warp.reg_overflow:
+            stash = mega.try_fuse(warp, pc, inst)
+            if stash is not None:
+                return self._consume_stash(warp, stash, inst, pc, cycle)
+
         simt_mask = warp.stack.current_mask
         # BRA's predicate is the branch *condition*, not an execution
         # guard: every SIMT-active lane evaluates the branch.
@@ -428,6 +449,53 @@ class Executor:
             control.target = int(inst.target)
             control.taken_mask = taken_mask
         return ExecResult(event, control)
+
+    # ------------------------------------------------------------------
+    def consume_stash_mask(self, warp: Warp, stash, inst: Instruction,
+                           pc: int) -> int:
+        """Advance a region stash by one instruction; return its mask.
+
+        The functional results were committed when the region fused;
+        the caller only needs the execution mask for bookkeeping.  The
+        SM's issue loop uses this directly (no event construction —
+        fusion is gated on nothing consuming per-lane data).
+        """
+        region = stash.region
+        index = stash.index
+        entries = region.entries
+        entry = entries[index] if index < len(entries) else None
+        if region.start + index != pc or entry is None \
+                or entry.inst is not inst:
+            warp.mega_stash = None
+            raise SimulationError(
+                f"megakernel stash desync on SM {self.sm_id} warp "
+                f"{warp.warp_id}: expected pc {region.start + index} of "
+                f"region {region!r}, got pc {pc}"
+            )
+        stash.index = index + 1
+        if stash.index >= len(entries):
+            warp.mega_stash = None
+        self.vector_issues += 1
+        return stash.masks[index]
+
+    def _consume_stash(self, warp: Warp, stash, inst: Instruction,
+                       pc: int, cycle: int) -> ExecResult:
+        """Event-carrying variant of :meth:`consume_stash_mask` for
+        callers that go through :meth:`execute` (first instruction of a
+        freshly fused region, direct executor use in tests)."""
+        exec_mask = self.consume_stash_mask(warp, stash, inst, pc)
+        event = IssueEvent(
+            cycle=cycle,
+            sm_id=self.sm_id,
+            warp_id=warp.warp_id,
+            pc=pc,
+            instruction=inst,
+            logical_mask=exec_mask,
+            hw_mask=warp.hw_mask(exec_mask),
+            warp_width=warp.warp_size,
+            dest_reg=inst.dest_register(),
+        )
+        return ExecResult(event)  # regions are straight-line: "advance"
 
     # ------------------------------------------------------------------
     def reexecute_lane(self, event: IssueEvent, original_lane: int,

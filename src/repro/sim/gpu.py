@@ -20,6 +20,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import IssueEvent
 from repro.sim.executor import FaultHook
 from repro.sim.memory import GlobalMemory
+from repro.sim.megakernel import WarpBatcher
 from repro.sim.sm import DEFAULT_MAX_CYCLES, SM
 
 
@@ -115,10 +116,13 @@ class GPU:
         self.dmr = dmr or DMRConfig.disabled()
         self.fault_hook = fault_hook
         self.max_cycles = max_cycles
-        # execution engine: explicit arg > REPRO_EXEC env var > auto.
-        # "auto" means vectorized whenever exactness allows (never with
-        # a fault hook armed); "scalar" pins the per-lane interpreter.
-        self.engine = engine or os.environ.get("REPRO_EXEC", "auto")
+        # execution engine: explicit arg > REPRO_EXEC env var > config.
+        # "auto"/"mega" fuse straight-line regions whenever exactness
+        # allows (never with a fault hook, DMR, or issue listeners
+        # attached); "vector" pins per-issue vectorization; "scalar"
+        # pins the per-lane interpreter.
+        self.engine = engine or os.environ.get("REPRO_EXEC") \
+            or self.config.engine
         # observability: an ObsSession, a mode string ("metrics"/
         # "trace"), True, or None to defer to $REPRO_OBS.  False (the
         # default) disables it outright: no probes are created and the
@@ -170,6 +174,11 @@ class GPU:
         functional_verify = self.fault_hook is not None
         session = self.obs
 
+        # Construct and fully attach every SM before any of them runs:
+        # the megakernel batcher needs all peers' initially-resident
+        # warps, and fusion eligibility (no DMR, no listeners) is only
+        # decidable after attachment.
+        sms: List[SM] = []
         for sm_id, block_ids in enumerate(blocks_of_sm):
             if not block_ids:
                 continue
@@ -201,6 +210,17 @@ class GPU:
                 sm.add_issue_listener(issue_listener)
             if probe is not None and session.tracing:
                 sm.add_issue_listener(probe.on_issue)
+            sms.append(sm)
+
+        # Cross-SM warp batching: one batcher spanning every SM that
+        # may fuse, so warps at the same pc on different SMs execute a
+        # region as one wide array op.  SMs still run sequentially and
+        # remain timing-independent; only functional work is shared.
+        fusable = [sm for sm in sms if sm.fusion_allowed()]
+        if fusable:
+            WarpBatcher(fusable).attach()
+
+        for sm in sms:
             sm.run()
             per_sm_cycles.append(sm.cycle)
             merged.merge(sm.stats)

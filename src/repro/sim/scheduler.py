@@ -69,11 +69,13 @@ class WarpScheduler:
         self._greedy_warp: Optional[int] = None
 
     def select(self, warps: List[Warp], cycle: int,
-               is_ready: Callable[[Warp], bool]) -> Optional[Warp]:
+               is_ready: Callable[[Warp, int], bool]) -> Optional[Warp]:
         """Pick the next warp to issue, or None when none is ready.
 
-        *is_ready* encapsulates scoreboard and structural checks beyond
-        the warp's own schedulability.
+        *is_ready(warp, cycle)* encapsulates scoreboard and structural
+        checks beyond the warp's own schedulability; it is a persistent
+        callable (the SM passes a bound method), so selection allocates
+        nothing per cycle.
         """
         if not warps:
             return None
@@ -88,14 +90,15 @@ class WarpScheduler:
         return warp
 
     def _select_seeded(self, warps: List[Warp], cycle: int,
-                       is_ready: Callable[[Warp], bool]):
+                       is_ready: Callable[[Warp, int], bool]):
         # Every issuable warp is a candidate; the choice at decision k
         # is mix(seed + k*GOLDEN) mod #candidates.  Cycles with no
         # candidate consume no decision index, so the decision sequence
         # depends only on the choice points, not on stall timing.
         candidates = [
             warp for warp in warps
-            if warp.can_issue(cycle) and is_ready(warp)
+            if not warp.stack.done and not warp.barrier_blocked
+            and cycle >= warp.stalled_until and is_ready(warp, cycle)
         ]
         if not candidates:
             return None, len(warps)
@@ -104,29 +107,33 @@ class WarpScheduler:
         return candidates[pick], len(warps)
 
     def _select_rr(self, warps: List[Warp], cycle: int,
-                   is_ready: Callable[[Warp], bool]):
+                   is_ready: Callable[[Warp, int], bool]):
         n = len(warps)
         for step in range(1, n + 1):
             idx = (self._last_index + step) % n
             warp = warps[idx]
-            if warp.can_issue(cycle) and is_ready(warp):
+            # warp.can_issue(cycle), inlined: this loop dominates the
+            # issue stage's per-cycle cost
+            if (not warp.stack.done and not warp.barrier_blocked
+                    and cycle >= warp.stalled_until
+                    and is_ready(warp, cycle)):
                 self._last_index = idx
                 return warp, step
         return None, n
 
     def _select_gto(self, warps: List[Warp], cycle: int,
-                    is_ready: Callable[[Warp], bool]):
+                    is_ready: Callable[[Warp, int], bool]):
         # Greedy: stick with the last-issued warp while it stays ready.
         if self._greedy_warp is not None:
             for warp in warps:
                 if warp.warp_id == self._greedy_warp:
-                    if warp.can_issue(cycle) and is_ready(warp):
+                    if warp.can_issue(cycle) and is_ready(warp, cycle):
                         return warp, 1
                     break
         # Oldest: lowest warp id wins.
         for scanned, warp in enumerate(sorted(warps, key=lambda w: w.warp_id),
                                        start=1):
-            if warp.can_issue(cycle) and is_ready(warp):
+            if warp.can_issue(cycle) and is_ready(warp, cycle):
                 self._greedy_warp = warp.warp_id
                 return warp, scanned
         self._greedy_warp = None

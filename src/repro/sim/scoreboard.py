@@ -62,6 +62,28 @@ class Scoreboard:
             ready = max(ready, self._pred_ready.get(dst_pred, 0))
         return ready
 
+    def ready_cycle_flat(self, regs: Iterable[int],
+                         preds: Iterable[int]) -> int:
+        """:meth:`ready_cycle` over pre-flattened operand tuples.
+
+        The caller merges sources and destination into *regs* (RAW +
+        WAW) and all predicates into *preds* once per pc, so the hot
+        query is a single pass with no ``max`` calls.
+        """
+        ready = 0
+        get = self._reg_ready.get
+        for reg in regs:
+            cycle = get(reg, 0)
+            if cycle > ready:
+                ready = cycle
+        if preds:
+            get = self._pred_ready.get
+            for pred in preds:
+                cycle = get(pred, 0)
+                if cycle > ready:
+                    ready = cycle
+        return ready
+
     def prune(self, now: int) -> None:
         """Drop entries that completed before *now* (bounds memory)."""
         self._reg_ready = {

@@ -52,21 +52,28 @@ class SIMTStack:
             StackEntry(pc=entry_pc, rpc=None, mask=initial_mask)
         ]
         self._live = initial_mask
+        # ``done``/``current_pc``/``current_mask`` are plain attributes
+        # kept in sync by every mutation — the issue loop reads them on
+        # every scheduler scan, so property indirection is too expensive.
+        #: all threads of the warp have exited
+        self.done = False
+        #: top-of-stack pc (-1 once the warp is done)
+        self.current_pc = entry_pc
+        #: top-of-stack active mask (0 once the warp is done)
+        self.current_mask = initial_mask
+
+    def _sync(self) -> None:
+        entries = self._entries
+        if entries:
+            top = entries[-1]
+            self.current_pc = top.pc
+            self.current_mask = top.mask
+        else:
+            self.current_pc = -1
+            self.current_mask = 0
+        self.done = self._live == 0
 
     # -- inspection ----------------------------------------------------
-    @property
-    def done(self) -> bool:
-        """All threads of the warp have exited."""
-        return self._live == 0
-
-    @property
-    def current_pc(self) -> int:
-        return self._top.pc
-
-    @property
-    def current_mask(self) -> ActiveMask:
-        return self._top.mask
-
     @property
     def live_mask(self) -> ActiveMask:
         """Threads that have not executed EXIT yet."""
@@ -118,6 +125,7 @@ class SIMTStack:
             self._entries.pop()
             self._entries.append(StackEntry(target, None, taken_mask))
             self._entries.append(StackEntry(fallthrough_pc, None, not_taken))
+            self._sync()
             return
         rpc = reconvergence_pc
         top.pc = rpc  # parent waits at the reconvergence point
@@ -127,6 +135,7 @@ class SIMTStack:
             self._entries.append(StackEntry(target, rpc, taken_mask))
         if fallthrough_pc != rpc:
             self._entries.append(StackEntry(fallthrough_pc, rpc, not_taken))
+        self._sync()
 
     def thread_exit(self, mask: ActiveMask) -> None:
         """Threads in *mask* executed EXIT: remove them from every level."""
@@ -134,6 +143,7 @@ class SIMTStack:
         for entry in self._entries:
             entry.mask &= ~mask
         self._cascade()
+        self._sync()
 
     # -- internals -------------------------------------------------------
     def _set_pc(self, pc: int) -> None:
@@ -141,8 +151,10 @@ class SIMTStack:
         if top.rpc is not None and pc == top.rpc:
             self._entries.pop()
             self._cascade()
+            self._sync()
             return
         top.pc = pc
+        self.current_pc = pc
 
     def _cascade(self) -> None:
         """Pop exhausted entries: empty masks, and parents that were left

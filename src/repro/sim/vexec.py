@@ -127,11 +127,16 @@ def _floats(val: Val, n: int):
     return np.where(isf, val.f, val.i.astype(np.float64))
 
 
-def _to_lanes(x, n: int) -> np.ndarray:
-    """Broadcast scalars/0-d results to an ``n``-lane array."""
+def _to_lanes(x, n) -> np.ndarray:
+    """Broadcast scalars/0-d results to an ``n``-lane array.
+
+    *n* may also be a full shape tuple — the megakernel engine runs the
+    same handlers over stacked ``(warps, lanes)`` register columns.
+    """
     x = np.asarray(x)
-    if x.ndim == 0:
-        x = np.broadcast_to(x, (n,))
+    shape = n if isinstance(n, tuple) else (n,)
+    if x.shape != shape:
+        x = np.broadcast_to(x, shape)
     return x
 
 
@@ -323,9 +328,21 @@ def _sfu_log(x: float) -> float:
     return math.log(x) if x > 0.0 else float("-inf")
 
 
+#: scalar transcendental per SFU opcode — shared with the megakernel
+#: region executor, which list-maps them over raveled 2-D batches.
+SFU_SCALAR_FNS: Dict[Opcode, Callable[[float], float]] = {
+    Opcode.SIN: math.sin, Opcode.COS: math.cos,
+    Opcode.SQRT: _sfu_sqrt, Opcode.RSQRT: _sfu_rsqrt,
+    Opcode.EXP: _sfu_exp, Opcode.LOG: _sfu_log,
+}
+
+
 def _make_sfu(scalar_fn: Callable[[float], float]):
     def handler(v, n):
         x = _to_lanes(_floats(v[0], n), n)
+        if x.ndim > 1:
+            flat = [scalar_fn(value) for value in x.ravel().tolist()]
+            return _vf(np.asarray(flat, dtype=np.float64).reshape(x.shape))
         return _vf(np.asarray([scalar_fn(value) for value in x.tolist()],
                               dtype=np.float64))
     return handler
@@ -394,9 +411,7 @@ _ALU_HANDLERS: Dict[Opcode, Callable] = {
     Opcode.FFMA: _h_ffma, Opcode.FMIN: _h_fmin, Opcode.FMAX: _h_fmax,
     Opcode.FABS: _h_fabs, Opcode.FNEG: _h_fneg,
     Opcode.I2F: _h_i2f, Opcode.F2I: _h_f2i,
-    Opcode.SIN: _make_sfu(math.sin), Opcode.COS: _make_sfu(math.cos),
-    Opcode.SQRT: _make_sfu(_sfu_sqrt), Opcode.RSQRT: _make_sfu(_sfu_rsqrt),
-    Opcode.EXP: _make_sfu(_sfu_exp), Opcode.LOG: _make_sfu(_sfu_log),
+    **{op: _make_sfu(fn) for op, fn in SFU_SCALAR_FNS.items()},
     Opcode.NOP: _h_nop,
 }
 

@@ -136,6 +136,16 @@ class Warp:
         self.scoreboard = Scoreboard()
         self.barrier_blocked = False
         self.stalled_until = 0  # cycle before which the warp cannot issue
+        #: megakernel engine: pending fused-region bookkeeping
+        #: (:class:`repro.sim.megakernel.RegionStash`), or None
+        self.mega_stash = None
+        #: SM-maintained scoreboard-readiness memo: the pc the cached
+        #: ready cycle was computed for (-1 = invalid) and that cycle
+        self.sb_pc = -1
+        self.sb_ready = 0
+        #: SM-maintained RAW-distance tracking: register -> last write
+        #: cycle (Fig 8b bookkeeping)
+        self.raw_last_write: Dict[int, int] = {}
 
         # lane mapping: logical slot -> hw lane, and its inverse
         if sorted(lane_of_slot) != list(range(warp_size)):

@@ -73,6 +73,37 @@ class TestKeyCompleteness:
         dmr = DMRConfig.disabled()
         assert a._key("scan", dmr, a.config) != b._key("scan", dmr, b.config)
 
+    def test_engine_in_key(self):
+        """Changing the engine must miss the result cache.
+
+        The engines are bit-identical by contract, but a shared key
+        would let a cache hit mask an engine divergence — the
+        differential suite would compare an engine against its own
+        cached result.
+        """
+        dmr = DMRConfig.disabled()
+        keys = {
+            make_runner(engine=engine)._key("scan", dmr,
+                                            experiment_config(num_sms=2))
+            for engine in ("scalar", "vector", "mega", "auto")
+        }
+        assert len(keys) == 4
+
+    def test_repro_exec_env_reaches_the_key(self, monkeypatch):
+        dmr = DMRConfig.disabled()
+        runner = make_runner()  # no explicit engine: env resolves it
+        base = runner._key("scan", dmr, runner.config)
+        monkeypatch.setenv("REPRO_EXEC", "scalar")
+        assert runner._key("scan", dmr, runner.config) != base
+
+    def test_explicit_engine_shadows_env(self, monkeypatch):
+        """An explicit engine pin must key identically regardless of env."""
+        dmr = DMRConfig.disabled()
+        runner = make_runner(engine="mega")
+        base = runner._key("scan", dmr, runner.config)
+        monkeypatch.setenv("REPRO_EXEC", "scalar")
+        assert runner._key("scan", dmr, runner.config) == base
+
     def test_different_scales_never_alias_on_disk(self, tmp_path):
         quarter = make_runner(scale=0.25, cache=tmp_path)
         half = make_runner(scale=0.5, cache=tmp_path)

@@ -7,11 +7,14 @@ reproduce its golden digest, and both simulator engines must reproduce
 it under DMR — detection must never alter functional results.
 
 Running the full {off, intra, inter} x {ReplayQ 2, unbounded} x
-{scalar, vexec} cross product on all 64 kernels would cost 768
+{scalar, vector, mega} cross product on all 64 kernels would cost 1152
 simulations, so each kernel is assigned one (mode, size) cell
 round-robin by corpus index — every cell is exercised by >= 10 kernels
-and both engines run for every kernel, at 1/6 the cost.  The DMR-off
-cell doubles as the plain engine-equivalence check.
+and all three engines run for every kernel, at 1/6 the cost.  The
+DMR-off cell doubles as the plain engine-equivalence check.
+
+(Under DMR the mega engine's region fusion is gated off at launch, so
+its DMR cells certify the gating path stays bit-identical too.)
 """
 
 from __future__ import annotations
@@ -76,7 +79,7 @@ def test_reference_reproduces_every_golden_digest():
 def test_engines_bit_identical_under_dmr(index, digest):
     kernel = _corpus.load(digest)
     dmr, label = _cell(index)
-    for engine in ("scalar", "auto"):
+    for engine in ("scalar", "vector", "mega"):
         result = run_kernel(kernel, dmr=dmr, engine=engine)
         assert result_digest(result) == GOLDEN[digest]["result"], (
             f"{digest[:12]} under {label} engine={engine}")

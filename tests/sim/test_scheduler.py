@@ -17,7 +17,7 @@ def make_warps(n):
     return warps
 
 
-def always_ready(warp):
+def always_ready(warp, cycle):
     return True
 
 
@@ -51,7 +51,7 @@ class TestRoundRobin:
     def test_respects_ready_callback(self):
         warps = make_warps(2)
         sched = WarpScheduler(SchedulerPolicy.ROUND_ROBIN)
-        only_one = lambda w: w.warp_id == 1
+        only_one = lambda w, c: w.warp_id == 1
         assert sched.select(warps, 0, only_one).warp_id == 1
 
 
@@ -120,7 +120,7 @@ class TestSeededExploration:
         picks = []
         for i in range(8):
             if i == 3:  # interpose a cycle where nothing can issue
-                assert stalled.select(warps, 0, lambda w: False) is None
+                assert stalled.select(warps, 0, lambda w, c: False) is None
             picks.append(stalled.select(warps, 0, always_ready).warp_id)
         assert picks == expected
 
