@@ -134,6 +134,8 @@ def cmd_figure(args) -> int:
 
     if args.name == "fig-sched":
         return _figure_sched(args)
+    if args.name == "fig-pareto":
+        return _figure_pareto(args)
 
     drivers = {
         "fig1": (active_threads.run_figure1, active_threads.format_figure1),
@@ -151,7 +153,8 @@ def cmd_figure(args) -> int:
     }
     if args.name not in drivers:
         print(f"unknown figure {args.name!r}; choose from "
-              f"{sorted(drivers) + ['fig-sched']}", file=sys.stderr)
+              f"{sorted(drivers) + ['fig-pareto', 'fig-sched']}",
+              file=sys.stderr)
         return 2
     cache = _cache_arg(args)
     runner = SuiteRunner(
@@ -161,6 +164,32 @@ def cmd_figure(args) -> int:
     run_fn, format_fn = drivers[args.name]
     print(format_fn(run_fn(runner)))
     print(runner.cache_summary(), file=sys.stderr)
+    return 0
+
+
+def _figure_pareto(args) -> int:
+    """fig-pareto: coverage-vs-overhead frontier over the scheme zoo."""
+    import json
+
+    from repro.analysis.pareto import format_fig_pareto, run_fig_pareto
+    from repro.analysis.runner import SuiteRunner, experiment_config
+
+    runner = SuiteRunner(
+        experiment_config(num_sms=args.sms), scale=args.scale,
+        seed=args.seed, cache=_cache_arg(args), jobs=args.jobs,
+    )
+    data = run_fig_pareto(runner, samples=args.samples)
+    print(format_fig_pareto(data))
+    if args.out:
+        # simulations is cache telemetry, not figure data: dropping it
+        # makes warm reruns byte-identical to the cold artifact
+        artifact = {k: v for k, v in data.items() if k != "simulations"}
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(f"pareto-cache: simulations={data['simulations']}",
+          file=sys.stderr)
     return 0
 
 
@@ -550,6 +579,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--replayq", type=int, default=2,
         help="ReplayQ entries for fig-sched (default 2: small enough "
              "to surface stall pressure on corpus-scale kernels)")
+    figure_parser.add_argument(
+        "--samples", type=int, default=40,
+        help="stratified faults per (workload, scheme) for fig-pareto "
+             "(default 40)")
+    figure_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the fig-pareto data as JSON to FILE")
 
     inject_parser = sub.add_parser("inject", help="fault-injection run")
     inject_parser.add_argument("workload")

@@ -16,6 +16,12 @@ time so Figure 10's stacked bars can be regenerated.
 
 from repro.baselines.transfer import TransferModel
 from repro.baselines.dmtr import DMTRController
+from repro.baselines.partial import (
+    VulnerabilityProfile,
+    select_protected_lanes,
+    select_protected_pcs,
+    vulnerability_profile,
+)
 from repro.baselines.sampling import SamplingDMRController, sampling_factory
 from repro.baselines.schemes import (
     SCHEME_ORDER,
@@ -24,15 +30,33 @@ from repro.baselines.schemes import (
     compare_schemes,
     make_scheme,
 )
+from repro.baselines.secded import (
+    CodecStatus,
+    Decoded,
+    SECDEDBackend,
+    decode,
+    encode,
+    secded_config,
+)
 
 __all__ = [
+    "CodecStatus",
     "DMTRController",
+    "Decoded",
     "SCHEME_ORDER",
+    "SECDEDBackend",
     "SamplingDMRController",
     "Scheme",
     "SchemeResult",
     "TransferModel",
+    "VulnerabilityProfile",
     "compare_schemes",
+    "decode",
+    "encode",
     "make_scheme",
     "sampling_factory",
+    "secded_config",
+    "select_protected_lanes",
+    "select_protected_pcs",
+    "vulnerability_profile",
 ]

@@ -274,6 +274,16 @@ class DMRConfig:
         On a full ReplayQ, re-execute one cycle later using operands still
         in the pipeline (paper behaviour, 1 stall cycle).  When disabled,
         the pipeline instead stalls until a ReplayQ slot frees (ablation).
+    ``protected_pcs`` / ``protected_mask``
+        Partial thread protection (Yang et al., arXiv 2103.02825; see
+        :mod:`repro.baselines.partial`).  ``protected_pcs`` restricts
+        DMR verification to instructions at the listed PCs — anything
+        else skips the checker entirely, shrinking ReplayQ pressure
+        with the budget.  ``protected_mask`` restricts verification to
+        the listed hardware lanes.  ``None`` (the default) protects
+        everything, bit-identically to the pre-knob behaviour; both
+        fields are dataclass members, so every selection lands in the
+        config fingerprint and therefore in every result-cache key.
     """
 
     enabled: bool = True
@@ -281,12 +291,32 @@ class DMRConfig:
     mapping: MappingPolicy = MappingPolicy.CROSS
     lane_shuffle: bool = True
     eager_reexecution: bool = True
+    protected_pcs: Optional[tuple] = None
+    protected_mask: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.replayq_entries < 0:
             raise ConfigError(
                 f"replayq_entries must be >= 0, got {self.replayq_entries}"
             )
+        if self.protected_pcs is not None:
+            for pc in self.protected_pcs:
+                if not isinstance(pc, int) or isinstance(pc, bool) or pc < 0:
+                    raise ConfigError(
+                        f"protected_pcs entries must be ints >= 0, got {pc!r}"
+                    )
+            # canonicalize: sorted, deduplicated — two selections of the
+            # same PCs must fingerprint (and cache) identically
+            object.__setattr__(self, "protected_pcs",
+                               tuple(sorted(set(self.protected_pcs))))
+        if self.protected_mask is not None:
+            if (not isinstance(self.protected_mask, int)
+                    or isinstance(self.protected_mask, bool)
+                    or self.protected_mask < 0):
+                raise ConfigError(
+                    f"protected_mask must be an int >= 0 or None, got "
+                    f"{self.protected_mask!r}"
+                )
 
     @classmethod
     def disabled(cls) -> "DMRConfig":
@@ -303,6 +333,21 @@ class DMRConfig:
 
     def with_mapping(self, mapping: MappingPolicy) -> "DMRConfig":
         return replace(self, mapping=mapping)
+
+    def with_protected_pcs(self, pcs) -> "DMRConfig":
+        """Return a copy protecting only instructions at *pcs* (or all,
+        when ``None``)."""
+        return replace(self, protected_pcs=None if pcs is None
+                       else tuple(pcs))
+
+    def with_protected_mask(self, mask: Optional[int]) -> "DMRConfig":
+        """Return a copy protecting only the hardware lanes in *mask*."""
+        return replace(self, protected_mask=mask)
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether this configuration protects less than everything."""
+        return self.protected_pcs is not None or self.protected_mask is not None
 
     def to_dict(self) -> Dict[str, Any]:
         """Flat dict form, convenient for experiment logs."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.common.bitops import count_active
 from repro.common.config import DMRConfig, GPUConfig
 from repro.core.comparator import ResultComparator
 from repro.core.coverage import CoverageReport, is_coverable
@@ -40,12 +41,19 @@ class DMRController:
         self.config = dmr_config
         self.stats = stats
         self.comparator = ResultComparator()
+        # partial thread protection: None protects everything (and every
+        # gate below short-circuits to the pre-knob behaviour)
+        self._protected_pcs = (
+            frozenset(dmr_config.protected_pcs)
+            if dmr_config.protected_pcs is not None else None
+        )
         self.intra = IntraWarpDMR(
             cluster_size=gpu_config.cluster_size,
             stats=stats,
             comparator=self.comparator,
             functional_verify=functional_verify,
             probe=probe,
+            protected_mask=dmr_config.protected_mask,
         )
         self.checker = ReplayChecker(
             cluster_size=gpu_config.cluster_size,
@@ -65,6 +73,23 @@ class DMRController:
             return 0
         return self.checker.check_raw(warp_id, inst)
 
+    def _protects(self, event: IssueEvent) -> bool:
+        """Partial-protection gate: does DMR verify this issue at all?"""
+        if (self._protected_pcs is not None
+                and event.pc not in self._protected_pcs):
+            return False
+        mask = self.config.protected_mask
+        if mask is not None and not (event.hw_mask & mask):
+            return False
+        return True
+
+    def _protected_count(self, event: IssueEvent) -> int:
+        """Active lanes the lane mask actually lets the checker verify."""
+        mask = self.config.protected_mask
+        if mask is None:
+            return event.active_count
+        return count_active(event.hw_mask & mask)
+
     def on_issue(self, event: IssueEvent, executor: Executor) -> int:
         if not self.config.enabled:
             return 0
@@ -72,14 +97,21 @@ class DMRController:
         if eligible:
             self.stats.inc("coverage_eligible_lanes", event.active_count)
 
+        if not self._protects(event):
+            # Unprotected instruction: no verification is spent on it,
+            # but it is still the DEC/SCHED instruction of Algorithm 1 —
+            # the pending latch resolves against it and idle units drain.
+            return self.checker.observe_other_issue(event, executor)
+
         if event.is_full:
             stall = self.checker.accept(event, executor)
             if eligible:
                 # Every fully utilized instruction is verified on one of
                 # Algorithm 1's paths (co-execute, buffered replay,
                 # eager re-execution, or the kernel-end flush).
-                self.stats.inc("coverage_verified_lanes", event.active_count)
-                self.stats.inc("coverage_inter_lanes", event.active_count)
+                verified = self._protected_count(event)
+                self.stats.inc("coverage_verified_lanes", verified)
+                self.stats.inc("coverage_inter_lanes", verified)
             return stall
 
         stall = self.checker.observe_other_issue(event, executor)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.common.bitops import active_lane_list
+from repro.common.bitops import active_lane_list, count_active
 from repro.common.config import DMRConfig
 from repro.core.comparator import ResultComparator
 from repro.core.mapping import shuffled_lane
@@ -209,8 +209,11 @@ class ReplayChecker:
     # ------------------------------------------------------------------
     def _verify(self, event: IssueEvent, cycle: int, how: str) -> None:
         """Redundantly execute *event* on (shuffled) lanes and compare."""
+        mask = self.config.protected_mask
+        verified = (event.active_count if mask is None
+                    else count_active(event.hw_mask & mask))
         self.stats.inc("inter_warp_verified_instructions")
-        self.stats.inc("inter_warp_verified_lanes", event.active_count)
+        self.stats.inc("inter_warp_verified_lanes", verified)
         self.stats.inc(f"inter_warp_verify_{how}")
         self.stats.inc(f"verify_unit_{event.unit.value}")
         if self.probe is not None:
@@ -219,6 +222,9 @@ class ReplayChecker:
         if not (self.functional_verify and self._executor is not None):
             return
         for lane in active_lane_list(event.hw_mask, event.warp_width):
+            if mask is not None and not (mask >> lane) & 1:
+                # partial thread protection: unprotected lane, no replay
+                continue
             if lane not in event.lane_inputs:
                 # no datapath computation on this lane (EXIT/JMP/BAR
                 # style bookkeeping issues have nothing to re-execute)

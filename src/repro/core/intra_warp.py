@@ -32,12 +32,16 @@ class IntraWarpDMR:
         comparator: ResultComparator,
         functional_verify: bool = False,
         probe: Optional[object] = None,
+        protected_mask: Optional[int] = None,
     ) -> None:
         self.rfu = RegisterForwardingUnit(cluster_size)
         self.stats = stats
         self.comparator = comparator
         self.functional_verify = functional_verify
         self.probe = probe
+        # partial thread protection: only originals in this lane mask
+        # are re-executed (None = every active lane, the full scheme)
+        self.protected_mask = protected_mask
 
     def process(self, event: IssueEvent,
                 executor: Optional[Executor]) -> int:
@@ -46,6 +50,11 @@ class IntraWarpDMR:
         Zero-cost: no stall cycles are ever charged.
         """
         pairs = self.rfu.pair_warp(event.hw_mask, event.warp_width)
+        if self.protected_mask is not None:
+            pairs = {
+                verifier: original for verifier, original in pairs.items()
+                if (self.protected_mask >> original) & 1
+            }
         verified_lanes = set(pairs.values())
 
         self.stats.inc("intra_warp_instructions")

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import DMRConfig, GPUConfig, config_fingerprint
+from repro.common.errors import ConfigError
 from repro.common.stats import binomial_interval
 from repro.faults.injector import FaultInjector
 from repro.faults.models import Fault, fault_from_payload, fault_to_payload
@@ -80,6 +81,11 @@ class FaultRun:
     #: metrics snapshot payload of the faulty run (None unless the
     #: campaign spec enabled observability; HUNG runs never carry one)
     obs: Optional[dict] = None
+    #: distinct PCs the comparator flagged (None when nothing was
+    #: detected, or under a scheme without per-PC detection events).
+    #: Partial-protection selection consumes these as the per-PC
+    #: vulnerability signal (:mod:`repro.baselines.partial`).
+    pcs: Optional[Tuple[int, ...]] = None
 
     def to_payload(self) -> dict:
         """Plain-data form for worker IPC and the persistent cache."""
@@ -90,10 +96,12 @@ class FaultRun:
             "activations": self.activations,
             "cycles": self.cycles,
             "obs": self.obs,
+            "pcs": list(self.pcs) if self.pcs is not None else None,
         }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "FaultRun":
+        pcs = payload.get("pcs")
         return cls(
             fault=fault_from_payload(payload["fault"]),
             outcome=Outcome(payload["outcome"]),
@@ -101,6 +109,7 @@ class FaultRun:
             activations=payload["activations"],
             cycles=payload.get("cycles", 0),
             obs=payload.get("obs"),
+            pcs=tuple(pcs) if pcs is not None else None,
         )
 
 
@@ -299,6 +308,15 @@ class FaultCampaign:
 # ----------------------------------------------------------------------
 # Scaled campaigns: plain-data specs, worker fan-out, persistent cache
 # ----------------------------------------------------------------------
+#: detection schemes a campaign can run under.  ``"dmr"`` is the
+#: Warped-DMR machinery configured by ``CampaignSpec.dmr`` (including
+#: the disabled no-protection baseline and partial thread protection);
+#: ``"secded"`` replaces it with the Hamming(72,64) ECC backend
+#: (:mod:`repro.baselines.secded`) running on the derived
+#: deeper-latency :func:`~repro.baselines.secded.secded_config`.
+SCHEMES = ("dmr", "secded")
+
+
 @dataclass(frozen=True)
 class CampaignSpec:
     """Everything that determines one campaign's faulty runs.
@@ -310,7 +328,9 @@ class CampaignSpec:
     the fault-run cache key deliberately excludes it: the engines are
     bit-identical by contract (enforced by the engine-differential
     tests), so their classifications are interchangeable.  The watchdog
-    parameters *are* keyed — they decide what counts as ``HUNG``.
+    parameters *are* keyed — they decide what counts as ``HUNG`` — and
+    so is ``scheme``: a SECDED classification must never be served to
+    (or shadowed by) a DMR request.
     """
 
     workload: str
@@ -324,6 +344,20 @@ class CampaignSpec:
     max_cycles: int = DEFAULT_MAX_FAULTY_CYCLES
     #: record per-run metrics snapshots (merged by CampaignResult.metrics)
     obs: bool = False
+    #: detection scheme (see :data:`SCHEMES`)
+    scheme: str = "dmr"
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ConfigError(
+                f"unknown campaign scheme {self.scheme!r}; expected one "
+                f"of {SCHEMES}"
+            )
+        if self.scheme == "secded" and self.dmr.enabled:
+            raise ConfigError(
+                "scheme='secded' replaces DMR as the detection backend; "
+                "pass DMRConfig.disabled()"
+            )
 
     def prepare(self):
         """A fresh :class:`~repro.workloads.base.WorkloadRun` instance."""
@@ -353,20 +387,92 @@ def fault_run_key(spec: CampaignSpec, fault: Fault) -> str:
         "watchdog_slack": spec.watchdog_slack,
         "max_cycles": spec.max_cycles,
         "obs": spec.obs,
+        "scheme": spec.scheme,
         "fault": fault_to_payload(fault),
         "salt": code_version_salt(),
     })
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+def protection_storage_bits(spec: CampaignSpec) -> Tuple[int, int]:
+    """``(extra_bits, base_bits)`` of storage *spec*'s scheme adds per SM.
+
+    SECDED taxes every register-file and shared-memory word with its 8
+    check bits; Warped-DMR (full or partial) only buys the ReplayQ —
+    each entry holds pc, opcode, active mask and per-lane operands plus
+    the original result for the replay compare.  The unprotected
+    baseline adds nothing.
+    """
+    config = spec.config
+    base = (config.register_file_bytes + config.shared_memory_bytes) * 8
+    if spec.scheme == "secded":
+        from repro.baselines.secded import storage_bits
+        return storage_bits(config)[0], base
+    if spec.dmr.enabled:
+        # pc(32) + opcode(10) + mask(warp_size) + 3 words/lane
+        entry_bits = 42 + config.warp_size + config.warp_size * 3 * 32
+        return spec.dmr.replayq_entries * entry_bits, base
+    return 0, base
+
+
+def _protection_obs(obs: Optional[dict], spec: CampaignSpec, hook,
+                    cycles: int, golden_cycles: int) -> Optional[dict]:
+    """Charge the scheme's overhead into the run's metrics snapshot.
+
+    Coverage and cost must come out of the *same* instrumented runs, so
+    each obs-enabled faulty run carries counters for the cycles it took
+    versus the unprotected golden run (cycle overhead) and the scheme's
+    storage tax (constant per run; normalize by ``protection_runs``).
+    Merging stays associative/commutative, so serial and parallel
+    campaigns still aggregate byte-identically.
+    """
+    if not spec.obs:
+        return obs
+    from repro.obs import aggregate_payloads
+    from repro.obs.metrics import MetricsRegistry, MetricSnapshot
+
+    registry = MetricsRegistry()
+    registry.inc("protection_runs")
+    registry.inc("protection_cycles", cycles)
+    if golden_cycles > 0:
+        registry.inc("protection_base_cycles", golden_cycles)
+        registry.inc("protection_extra_cycles",
+                     max(0, cycles - golden_cycles))
+    extra_bits, base_bits = protection_storage_bits(spec)
+    registry.inc("protection_storage_bits", extra_bits)
+    registry.inc("protection_base_storage_bits", base_bits)
+    if hasattr(hook, "checks"):  # the SECDED backend's codec counters
+        registry.inc("secded_checks", hook.checks)
+        registry.inc("secded_corrections", hook.corrections)
+        registry.inc("secded_uncorrectable", hook.uncorrectable)
+    payload = MetricSnapshot.from_registry(registry).to_payload()
+    if obs is None:
+        return payload
+    return aggregate_payloads([obs, payload]).to_payload()
+
+
+def _detection_hook(spec: CampaignSpec, fault: Fault):
+    """The fault hook and GPU config *spec*'s scheme runs under."""
+    if spec.scheme == "secded":
+        from repro.baselines.secded import SECDEDBackend, secded_config
+        return SECDEDBackend([fault]), secded_config(spec.config)
+    return FaultInjector([fault]), spec.config
+
+
 def run_single_fault(spec: CampaignSpec, fault: Fault,
-                     golden: Sequence, budget: int) -> FaultRun:
-    """Simulate and classify one faulty run of *spec* (pure function)."""
+                     golden: Sequence, budget: int,
+                     golden_cycles: int = 0) -> FaultRun:
+    """Simulate and classify one faulty run of *spec* (pure function).
+
+    ``golden_cycles`` is the unprotected golden run's cycle count —
+    the baseline the scheme's cycle overhead is charged against when
+    the spec records metrics (0 = unknown, no overhead charged).
+    """
     from repro.common.errors import SimulationError
 
     run = spec.prepare()
-    injector = FaultInjector([fault])
-    gpu = GPU(spec.config, dmr=spec.dmr, fault_hook=injector,
+    hook, config = _detection_hook(spec, fault)
+    gpu = GPU(config, dmr=spec.dmr, fault_hook=hook,
               max_cycles=budget, engine=spec.engine,
               obs=("metrics" if spec.obs else False))
     try:
@@ -378,29 +484,39 @@ def run_single_fault(spec: CampaignSpec, fault: Fault,
             fault=fault,
             outcome=Outcome.HUNG,
             detections=0,
-            activations=injector.activations,
+            activations=hook.activations,
         )
     output = run.output_of(run.memory)
     corrupt = not _outputs_equal(output, golden)
+    if spec.scheme == "secded":
+        detections = hook.detections
+        pcs = None  # ECC flags words, not program counters
+    else:
+        detections = len(result.detections)
+        detected_pcs = tuple(sorted({e.pc for e in result.detections}))
+        pcs = detected_pcs or None
     return FaultRun(
         fault=fault,
-        outcome=classify(len(result.detections), corrupt),
-        detections=len(result.detections),
-        activations=injector.activations,
+        outcome=classify(detections, corrupt),
+        detections=detections,
+        activations=hook.activations,
         cycles=result.cycles,
-        obs=result.obs,
+        obs=_protection_obs(result.obs, spec, hook, result.cycles,
+                            golden_cycles),
+        pcs=pcs,
     )
 
 
 def _campaign_worker(args: Tuple[CampaignSpec, List[Fault], Sequence,
-                                 int]) -> List[dict]:
+                                 int, int]) -> List[dict]:
     """Worker entry point: classify a chunk of faults, return payloads.
 
     Module-level so it pickles under any multiprocessing start method;
     chunks amortize process/IPC overhead over many sub-second runs.
     """
-    spec, faults, golden, budget = args
-    return [run_single_fault(spec, fault, golden, budget).to_payload()
+    spec, faults, golden, budget, golden_cycles = args
+    return [run_single_fault(spec, fault, golden, budget,
+                             golden_cycles).to_payload()
             for fault in faults]
 
 
@@ -573,7 +689,8 @@ class CampaignEngine:
         if cached is not None:
             return cached
         run = run_single_fault(self.spec, fault, self.golden_output(),
-                               self.cycle_budget())
+                               self.cycle_budget(),
+                               self.golden_result().cycles)
         self._store(key, run)
         return run
 
@@ -599,6 +716,7 @@ class CampaignEngine:
         if missing:
             golden = self.golden_output()
             budget = self.cycle_budget()
+            golden_cycles = self.golden_result().cycles
         if workers > 1:
             order = list(missing.items())
             # ~4 chunks per worker: big enough to amortize fork/IPC,
@@ -606,7 +724,7 @@ class CampaignEngine:
             # the pool tail
             chunks = _chunked(order, workers * 4)
             args = [(self.spec, [fault for _, fault in chunk], golden,
-                     budget) for chunk in chunks]
+                     budget, golden_cycles) for chunk in chunks]
             for chunk, payloads in zip(
                     chunks,
                     self.supervisor.map(_campaign_worker, args, workers)):
@@ -615,7 +733,7 @@ class CampaignEngine:
         else:
             for key, fault in missing.items():
                 self._store(key, run_single_fault(self.spec, fault, golden,
-                                                  budget))
+                                                  budget, golden_cycles))
 
         return CampaignResult(runs=[self._runs[key] for key in keys])
 

@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.common.config import GPUConfig
 from repro.common.errors import ConfigError
-from repro.faults.models import TransientFault
+from repro.faults.models import StuckAtFault, TransientFault
 from repro.isa.opcodes import UnitType
 
 #: sampled bit positions: the full 32-bit output pattern
@@ -136,4 +136,28 @@ class FaultSampler:
         for stratum, count in zip(cells, counts):
             faults.extend(stratum.draw(rng, self.sm_id)
                           for _ in range(count))
+        return faults
+
+    def sample_stuck_ats(self, n: int, seed: int = 0) -> List[StuckAtFault]:
+        """*n* stratified permanent datapath defects.
+
+        Stuck-ats model hard logic faults, so they have no strike
+        cycle: the strata are the (unit x lane) product only, with the
+        bit position and stuck value drawn uniformly per cell.  Mixing
+        these into a campaign's fault population is what separates
+        execution-path detectors from storage ECC — the codec never
+        sees a wrong value computed by a defective ALU.  Deterministic
+        in (sampler config, n, seed), like :meth:`sample`.
+        """
+        cells = [(unit, lane) for unit in self.units for lane in self.lanes]
+        counts = allocate(n, len(cells))
+        rng = random.Random(seed)
+        faults: List[StuckAtFault] = []
+        for (unit, lane), count in zip(cells, counts):
+            faults.extend(
+                StuckAtFault(sm_id=self.sm_id, hw_lane=lane, unit=unit,
+                             bit=rng.randrange(WORD_BITS),
+                             stuck_to=rng.randrange(2))
+                for _ in range(count)
+            )
         return faults

@@ -141,6 +141,72 @@ class TestKeyCompleteness:
         assert len(keys) == 4
 
 
+class TestSchemeKnobsReachTheKey:
+    """Regression: the protection-scheme zoo's knobs must never alias.
+
+    A shared key between detection backends (or between PC budgets)
+    would let fig-pareto serve one scheme's cached classifications as
+    another's — every point on the frontier would silently collapse
+    onto the first scheme simulated.
+    """
+
+    def make_spec(self, **kwargs):
+        from repro.faults.campaign import CampaignSpec
+        kwargs.setdefault("workload", "scan")
+        kwargs.setdefault("config", GPUConfig.small(1))
+        kwargs.setdefault("dmr", DMRConfig.disabled())
+        kwargs.setdefault("scale", SCALE)
+        return CampaignSpec(**kwargs)
+
+    def make_fault(self):
+        from repro.faults.models import TransientFault
+        from repro.isa.opcodes import UnitType
+        return TransientFault(sm_id=0, hw_lane=0, unit=UnitType.SP,
+                              bit=3, cycle=10)
+
+    def test_scheme_in_fault_run_key(self):
+        from repro.faults.campaign import fault_run_key
+        fault = self.make_fault()
+        keys = {
+            fault_run_key(self.make_spec(scheme=scheme), fault)
+            for scheme in ("dmr", "secded")
+        }
+        assert len(keys) == 2
+
+    def test_protected_pcs_in_key(self):
+        runner = make_runner()
+        base = DMRConfig.paper_default()
+        keys = {
+            runner._key("scan", dmr, runner.config)
+            for dmr in (base, base.with_protected_pcs(()),
+                        base.with_protected_pcs((0, 4)),
+                        base.with_protected_pcs((0, 4, 9)))
+        }
+        assert len(keys) == 4
+
+    def test_protected_mask_in_key(self):
+        runner = make_runner()
+        base = DMRConfig.paper_default()
+        keys = {
+            runner._key("scan", dmr, runner.config)
+            for dmr in (base, base.with_protected_mask(0xFF),
+                        base.with_protected_mask(0xFFFF))
+        }
+        assert len(keys) == 3
+
+    def test_protected_pcs_order_and_duplicates_canonicalized(self):
+        """(4, 0, 4) and (0, 4) are the same protection set — they must
+        share one cache entry, not fork two."""
+        base = DMRConfig.paper_default()
+        assert (base.with_protected_pcs((4, 0, 4))
+                == base.with_protected_pcs((0, 4)))
+
+    def test_secded_scheme_rejects_enabled_dmr(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            self.make_spec(scheme="secded", dmr=DMRConfig.paper_default())
+
+
 class TestInMemoryCache:
     def test_identity_preserved(self):
         runner = make_runner()

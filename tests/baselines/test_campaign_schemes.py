@@ -1,0 +1,117 @@
+"""Campaign integration across the protection-scheme zoo.
+
+Every scheme (full Warped-DMR, the SECDED ECC baseline, partial thread
+protection) must hold the campaign engine's bit-identity contract:
+parallel fan-out classifies byte-identically to the serial loop —
+including the merged obs payloads that carry the overhead counters —
+and a warm cache replays the whole campaign with zero simulations.
+Byte-identity is judged in the same currency the chaos harness uses:
+canonical JSON over run payloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.partial import select_protected_pcs, \
+    vulnerability_profile
+from repro.common.config import DMRConfig, GPUConfig
+from repro.common.errors import ConfigError
+from repro.faults.campaign import CampaignEngine, CampaignSpec
+from repro.faults.sampler import FaultSampler
+from repro.resilience.chaos import _canonical_runs
+
+N_FAULTS = 6
+
+
+def make_spec(scheme: str, dmr: DMRConfig) -> CampaignSpec:
+    return CampaignSpec(workload="scan", config=GPUConfig.small(1),
+                        dmr=dmr, scale=0.25, seed=0, obs=True,
+                        scheme=scheme)
+
+
+def sampled_faults(spec: CampaignSpec, n: int = N_FAULTS) -> list:
+    horizon = CampaignEngine(spec).golden_result().cycles
+    return FaultSampler(spec.config, windows=2).sample(n, horizon, seed=7)
+
+
+@pytest.fixture(scope="module")
+def scheme_specs() -> dict:
+    """label -> spec for each zoo member, partial calibrated from DMR."""
+    dmr_spec = make_spec("dmr", DMRConfig.paper_default())
+    runs = CampaignEngine(dmr_spec).run(sampled_faults(dmr_spec)).runs
+    pcs = select_protected_pcs(vulnerability_profile(runs), budget=2)
+    return {
+        "dmr": dmr_spec,
+        "secded": make_spec("secded", DMRConfig.disabled()),
+        "partial": make_spec("dmr",
+                             DMRConfig.paper_default()
+                             .with_protected_pcs(pcs)),
+    }
+
+
+class TestParallelBitIdentity:
+    @pytest.mark.parametrize("label", ["dmr", "secded", "partial"])
+    def test_parallel_matches_serial_byte_identically(self, label,
+                                                      scheme_specs,
+                                                      tmp_path):
+        spec = scheme_specs[label]
+        faults = sampled_faults(spec)
+        serial = CampaignEngine(spec, cache=tmp_path / "serial").run(faults)
+        parallel = CampaignEngine(spec, cache=tmp_path / "parallel",
+                                  jobs=2).run(faults)
+        assert _canonical_runs(parallel) == _canonical_runs(serial)
+
+
+class TestWarmCacheReplay:
+    @pytest.mark.parametrize("label", ["dmr", "secded", "partial"])
+    def test_warm_rerun_is_simulation_free(self, label, scheme_specs,
+                                           tmp_path):
+        spec = scheme_specs[label]
+        faults = sampled_faults(spec)
+        cold = CampaignEngine(spec, cache=tmp_path)
+        cold_result = cold.run(faults)
+        assert cold.simulations == len(faults)
+
+        warm = CampaignEngine(spec, cache=tmp_path)
+        warm_result = warm.run(faults)
+        assert warm.simulations == 0
+        assert _canonical_runs(warm_result) == _canonical_runs(cold_result)
+
+
+class TestOverheadAccounting:
+    def test_secded_charges_checks_and_storage(self, scheme_specs):
+        spec = scheme_specs["secded"]
+        result = CampaignEngine(spec).run(sampled_faults(spec))
+        snapshot = result.metrics()
+        assert snapshot.value("protection_runs") == N_FAULTS
+        assert snapshot.value("protection_storage_bits") > 0
+        assert snapshot.value("secded_checks") > 0
+        # 8 parity bits per 64 data bits: exactly 12.5% of base storage
+        assert (8 * snapshot.value("protection_base_storage_bits")
+                == 64 * snapshot.value("protection_storage_bits"))
+
+    def test_unprotected_baseline_charges_nothing(self):
+        spec = make_spec("dmr", DMRConfig.disabled())
+        result = CampaignEngine(spec).run(sampled_faults(spec))
+        snapshot = result.metrics()
+        assert snapshot.value("protection_storage_bits") == 0
+        assert snapshot.value("protection_extra_cycles") == 0
+
+    def test_partial_coverage_bounded_by_full_dmr(self, scheme_specs):
+        full_spec = scheme_specs["dmr"]
+        part_spec = scheme_specs["partial"]
+        faults = sampled_faults(full_spec)
+        full = CampaignEngine(full_spec).run(faults)
+        part = CampaignEngine(part_spec).run(faults)
+        assert part.detected_runs <= full.detected_runs
+
+
+class TestSpecValidation:
+    def test_secded_rejects_enabled_dmr(self):
+        with pytest.raises(ConfigError):
+            make_spec("secded", DMRConfig.paper_default())
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            make_spec("parity", DMRConfig.disabled())

@@ -1,11 +1,16 @@
 """Golden fault-outcome corpus: generation and shared plumbing.
 
-``golden_outcomes.json`` pins the exact classification of ~50 seeded
-faults across three workloads.  The replay test
+``golden_outcomes.json`` pins the exact classification of the same ~50
+seeded faults per workload under every detection scheme: Warped-DMR
+(``dmr``), the Hamming(72,64) ECC baseline (``secded``) and partial
+thread protection at a fixed PC budget (``partial``, with the
+protected set selected deterministically from the DMR runs' own
+detection PCs).  The replay test
 (:mod:`tests.faults.test_golden_corpus`) re-simulates every entry and
 compares outcome, detection count and activation count — any drift in
-the simulator, the DMR verifiers, the fault models or the watchdog
-shows up as a diff against numbers that were reviewed when checked in.
+the simulator, the DMR verifiers, the SECDED codec/backend, the
+partial-protection gates, the fault models or the watchdog shows up as
+a diff against numbers that were reviewed when checked in.
 
 Regenerate (after an *intentional* semantic change) with::
 
@@ -19,6 +24,8 @@ from __future__ import annotations
 import json
 import pathlib
 
+from repro.baselines.partial import select_protected_pcs, \
+    vulnerability_profile
 from repro.common.config import DMRConfig, GPUConfig
 from repro.faults.campaign import CampaignEngine, CampaignSpec
 from repro.faults.models import StuckAtFault, fault_from_payload, \
@@ -28,10 +35,15 @@ from repro.isa.opcodes import UnitType
 
 CORPUS_PATH = pathlib.Path(__file__).with_name("golden_outcomes.json")
 
-#: corpus shape: 14 stratified transients + 3 stuck-ats per workload
+#: corpus shape: 14 stratified transients + 4 stuck-ats per workload,
+#: classified under each of the three detection schemes
 WORKLOADS = ("scan", "matrixmul", "laplace")
+SCHEMES = ("dmr", "secded", "partial")
 TRANSIENTS_PER_WORKLOAD = 14
 CORPUS_SEED = 2012  # the paper's year; arbitrary but fixed
+
+#: protected-PC budget of the ``partial`` scheme's corpus entries
+PARTIAL_BUDGET = 4
 
 STUCK_ATS = (
     StuckAtFault(sm_id=0, hw_lane=2, unit=UnitType.SP, bit=3, stuck_to=1),
@@ -42,9 +54,27 @@ STUCK_ATS = (
 )
 
 
-def corpus_spec(workload: str) -> CampaignSpec:
-    return CampaignSpec(workload=workload, config=GPUConfig.small(1),
-                        dmr=DMRConfig.paper_default(), scale=0.25, seed=0)
+def corpus_spec(workload: str, scheme: str = "dmr",
+                partial_pcs=()) -> CampaignSpec:
+    config = GPUConfig.small(1)
+    if scheme == "dmr":
+        return CampaignSpec(workload=workload, config=config,
+                            dmr=DMRConfig.paper_default(), scale=0.25, seed=0)
+    if scheme == "secded":
+        return CampaignSpec(workload=workload, config=config,
+                            dmr=DMRConfig.disabled(), scale=0.25, seed=0,
+                            scheme="secded")
+    if scheme == "partial":
+        dmr = DMRConfig.paper_default().with_protected_pcs(partial_pcs)
+        return CampaignSpec(workload=workload, config=config, dmr=dmr,
+                            scale=0.25, seed=0)
+    raise ValueError(f"unknown corpus scheme {scheme!r}")
+
+
+def partial_selection(dmr_runs) -> tuple:
+    """The ``partial`` scheme's protected PCs, from the DMR runs."""
+    return select_protected_pcs(vulnerability_profile(dmr_runs),
+                                PARTIAL_BUDGET)
 
 
 def corpus_faults(engine: CampaignEngine) -> list:
@@ -58,23 +88,39 @@ def corpus_faults(engine: CampaignEngine) -> list:
 def generate() -> dict:
     """Classify the whole corpus; returns the JSON payload."""
     entries = []
+    partial_pcs = {}
     for workload in WORKLOADS:
         engine = CampaignEngine(corpus_spec(workload))
-        for run in engine.run(corpus_faults(engine)).runs:
-            entries.append({
-                "workload": workload,
-                "fault": fault_to_payload(run.fault),
-                "outcome": run.outcome.value,
-                "detections": run.detections,
-                "activations": run.activations,
-            })
+        faults = corpus_faults(engine)
+        dmr_runs = engine.run(faults).runs
+        pcs = partial_selection(dmr_runs)
+        partial_pcs[workload] = list(pcs)
+        runs_by_scheme = {
+            "dmr": dmr_runs,
+            "secded": CampaignEngine(
+                corpus_spec(workload, "secded")).run(faults).runs,
+            "partial": CampaignEngine(
+                corpus_spec(workload, "partial", pcs)).run(faults).runs,
+        }
+        for scheme in SCHEMES:
+            for run in runs_by_scheme[scheme]:
+                entries.append({
+                    "workload": workload,
+                    "scheme": scheme,
+                    "fault": fault_to_payload(run.fault),
+                    "outcome": run.outcome.value,
+                    "detections": run.detections,
+                    "activations": run.activations,
+                })
     return {
         "description": ("Exact fault classifications under "
-                        "GPUConfig.small(1) + DMRConfig.paper_default(), "
-                        "scale 0.25, seed 0; regenerate with "
-                        "python -m tests.faults.golden_corpus"),
-        "schema": 1,
+                        "GPUConfig.small(1), scale 0.25, seed 0, for each "
+                        "detection scheme (dmr / secded / partial); "
+                        "regenerate with python -m tests.faults.golden_corpus"),
+        "schema": 2,
         "sampler_seed": CORPUS_SEED,
+        "partial_budget": PARTIAL_BUDGET,
+        "partial_pcs": partial_pcs,
         "entries": entries,
     }
 

@@ -1,11 +1,12 @@
 """Replay the checked-in fault corpus and demand exact agreement.
 
-Each corpus entry is one ``(workload, fault)`` classification that was
-reviewed when ``golden_outcomes.json`` was committed.  The replay runs
-the same spec through :class:`CampaignEngine` (no cache — the point is
-to re-simulate) and compares exactly: outcome, detection count,
-activation count.  Silent shifts in verifier pairing, fault arming, the
-windowed engine split or outcome classification all fail here first.
+Each corpus entry is one ``(workload, scheme, fault)`` classification
+that was reviewed when ``golden_outcomes.json`` was committed.  The
+replay runs the same spec through :class:`CampaignEngine` (no cache —
+the point is to re-simulate) and compares exactly: outcome, detection
+count, activation count.  Silent shifts in verifier pairing, fault
+arming, the SECDED codec, partial-protection gating, the windowed
+engine split or outcome classification all fail here first.
 """
 
 from __future__ import annotations
@@ -26,14 +27,16 @@ def corpus() -> dict:
 
 @pytest.fixture(scope="module")
 def replayed(corpus):
-    """workload -> list of FaultRun, replayed in corpus order."""
-    by_workload = collections.defaultdict(list)
+    """(workload, scheme) -> list of FaultRun, replayed in corpus order."""
+    by_group = collections.defaultdict(list)
     for entry in corpus["entries"]:
-        by_workload[entry["workload"]].append(golden_corpus.entry_fault(entry))
+        key = (entry["workload"], entry["scheme"])
+        by_group[key].append(golden_corpus.entry_fault(entry))
     runs = {}
-    for workload, faults in by_workload.items():
-        engine = CampaignEngine(golden_corpus.corpus_spec(workload))
-        runs[workload] = engine.run(faults).runs
+    for (workload, scheme), faults in by_group.items():
+        pcs = tuple(corpus["partial_pcs"][workload])
+        spec = golden_corpus.corpus_spec(workload, scheme, pcs)
+        runs[(workload, scheme)] = CampaignEngine(spec).run(faults).runs
     return runs
 
 
@@ -42,42 +45,91 @@ def test_corpus_is_fresh(corpus):
     today — a drifted sampler would silently shrink replay coverage."""
     for workload in golden_corpus.WORKLOADS:
         engine = CampaignEngine(golden_corpus.corpus_spec(workload))
-        expected = [golden_corpus.entry_fault(e) for e in corpus["entries"]
-                    if e["workload"] == workload]
-        assert golden_corpus.corpus_faults(engine) == expected
+        expected_faults = golden_corpus.corpus_faults(engine)
+        for scheme in golden_corpus.SCHEMES:
+            got = [golden_corpus.entry_fault(e) for e in corpus["entries"]
+                   if e["workload"] == workload and e["scheme"] == scheme]
+            assert got == expected_faults, (workload, scheme)
+
+
+def test_partial_selection_is_fresh(corpus, replayed):
+    """The checked-in protected-PC sets are what today's selection
+    policy derives from today's DMR runs."""
+    assert corpus["partial_budget"] == golden_corpus.PARTIAL_BUDGET
+    for workload in golden_corpus.WORKLOADS:
+        pcs = golden_corpus.partial_selection(replayed[(workload, "dmr")])
+        assert list(pcs) == corpus["partial_pcs"][workload], workload
 
 
 def test_corpus_shape(corpus):
     entries = corpus["entries"]
-    assert len(entries) == len(golden_corpus.WORKLOADS) * (
-        golden_corpus.TRANSIENTS_PER_WORKLOAD + len(golden_corpus.STUCK_ATS)
-    )
-    per_workload = collections.Counter(e["workload"] for e in entries)
-    assert set(per_workload) == set(golden_corpus.WORKLOADS)
+    per_workload = (golden_corpus.TRANSIENTS_PER_WORKLOAD
+                    + len(golden_corpus.STUCK_ATS))
+    assert len(entries) == (len(golden_corpus.WORKLOADS)
+                            * len(golden_corpus.SCHEMES) * per_workload)
+    groups = collections.Counter(
+        (e["workload"], e["scheme"]) for e in entries)
+    assert set(groups) == {
+        (w, s) for w in golden_corpus.WORKLOADS
+        for s in golden_corpus.SCHEMES
+    }
+    assert set(groups.values()) == {per_workload}
 
 
 def test_corpus_exercises_the_outcome_lattice(corpus):
     """A corpus that only ever hits one outcome pins nothing down."""
-    outcomes = {e["outcome"] for e in corpus["entries"]}
-    assert {"detected", "masked"} <= outcomes
-    assert outcomes <= {o.value for o in Outcome}
+    for scheme in golden_corpus.SCHEMES:
+        outcomes = {e["outcome"] for e in corpus["entries"]
+                    if e["scheme"] == scheme}
+        assert {"detected", "masked"} <= outcomes, scheme
+        assert outcomes <= {o.value for o in Outcome}
+
+
+def test_secded_detects_every_activated_transient(corpus):
+    """The codec is exhaustive on single-bit storage strikes: any
+    transient that lands is detected (corrected), never SDC/DUE."""
+    checked = 0
+    for entry in corpus["entries"]:
+        if entry["scheme"] != "secded":
+            continue
+        if entry["fault"]["kind"] == "stuck_at":
+            # datapath defects are outside the codec's reach
+            assert entry["detections"] == 0, entry
+            continue
+        if entry["activations"] > 0:
+            assert entry["outcome"] == "detected", entry
+            assert entry["detections"] == entry["activations"], entry
+            checked += 1
+    assert checked > 0
+
+
+def test_partial_coverage_never_exceeds_full_dmr(corpus):
+    """Protecting a PC subset can only lose detections per fault."""
+    full = {(e["workload"], repr(e["fault"])): e["detections"]
+            for e in corpus["entries"] if e["scheme"] == "dmr"}
+    exceeded = [
+        e for e in corpus["entries"] if e["scheme"] == "partial"
+        and e["detections"] > full[(e["workload"], repr(e["fault"]))]
+    ]
+    assert not exceeded, exceeded[:3]
 
 
 def test_replay_matches_corpus_exactly(corpus, replayed):
     cursors = collections.defaultdict(int)
     mismatches = []
     for entry in corpus["entries"]:
-        workload = entry["workload"]
-        run = replayed[workload][cursors[workload]]
-        cursors[workload] += 1
-        got = {"workload": workload,
+        key = (entry["workload"], entry["scheme"])
+        run = replayed[key][cursors[key]]
+        cursors[key] += 1
+        got = {"workload": entry["workload"],
+               "scheme": entry["scheme"],
                "fault": entry["fault"],
                "outcome": run.outcome.value,
                "detections": run.detections,
                "activations": run.activations}
-        want = {key: entry[key]
-                for key in ("workload", "fault", "outcome", "detections",
-                            "activations")}
+        want = {k: entry[k]
+                for k in ("workload", "scheme", "fault", "outcome",
+                          "detections", "activations")}
         if got != want:
             mismatches.append((want, got))
     assert not mismatches, (

@@ -59,6 +59,35 @@ class TestSampler:
         assert (sampler.sample(n, horizon, seed=seed)
                 == sampler.sample(n, horizon, seed=seed))
 
+    @given(n=st.integers(0, 120), seed=st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_stuck_at_sample_size_and_bounds(self, n, seed):
+        sampler = FaultSampler(GPUConfig.small(1), windows=4)
+        faults = sampler.sample_stuck_ats(n, seed=seed)
+        assert len(faults) == n
+        for fault in faults:
+            assert isinstance(fault, StuckAtFault)
+            assert 0 <= fault.hw_lane < sampler.config.warp_size
+            assert 0 <= fault.bit < 32
+            assert fault.stuck_to in (0, 1)
+            assert fault.unit in sampler.units
+
+    @given(n=st.integers(0, 80), seed=st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_stuck_at_sample_is_deterministic(self, n, seed):
+        sampler = FaultSampler(GPUConfig.small(1), windows=3)
+        assert (sampler.sample_stuck_ats(n, seed=seed)
+                == sampler.sample_stuck_ats(n, seed=seed))
+
+    @given(n=st.integers(96, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_stuck_at_strata_all_represented(self, n):
+        """With >= one sample per (unit, lane) cell, every cell draws."""
+        sampler = FaultSampler(GPUConfig.small(1))
+        cells = {(f.unit, f.hw_lane)
+                 for f in sampler.sample_stuck_ats(n, seed=0)}
+        assert len(cells) == len(sampler.units) * len(sampler.lanes)
+
     @given(horizon=st.integers(1, 5000))
     @settings(max_examples=25, deadline=None)
     def test_strata_tile_the_horizon(self, horizon):
