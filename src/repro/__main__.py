@@ -46,6 +46,16 @@ Commands
     scalar reference, the scalar engine and the vectorized engine
     produce bit-identical memory images.  Writes machine-readable
     ``FUZZ_report.json`` and exits nonzero on any mismatch.
+``serve``
+    The distributed campaign fabric (:mod:`repro.service`).  ``serve
+    submit campaign WORKLOAD`` / ``serve submit figure NAME`` plan a
+    job into the shared job store; ``serve --worker`` runs a
+    work-stealing worker over the store (start as many as you like,
+    on any host sharing the store directory); ``serve status`` /
+    ``serve watch`` / ``serve fetch`` poll progress and retrieve the
+    merged output — byte-identical to a serial in-process run no
+    matter how many workers classified the units; bare ``serve`` (or
+    ``serve start``) runs the janitor/observer server loop.
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.common.config import DMRConfig, MappingPolicy
 from repro.sim.gpu import GPU
 
@@ -535,11 +546,193 @@ def cmd_chaos(args) -> int:
     return 0 if report.matched else 1
 
 
+# ----------------------------------------------------------------------
+# serve: the distributed campaign fabric
+# ----------------------------------------------------------------------
+def _serve_store(args):
+    from repro.service.store import JobStore
+    return JobStore(getattr(args, "store", None),
+                    cache_dir=getattr(args, "cache_dir", None))
+
+
+def _serve_submit(args) -> int:
+    import json
+
+    from repro.analysis.runner import experiment_config
+    from repro.faults.campaign import CampaignSpec
+    from repro.service.jobs import submit_campaign_job, submit_figure_job
+    from repro.service.server import job_status
+
+    store = _serve_store(args)
+    if args.kind == "campaign":
+        spec = CampaignSpec(
+            workload=args.target,
+            config=experiment_config(num_sms=args.sms),
+            dmr=DMRConfig.paper_default(),
+            scale=args.scale,
+            seed=args.seed,
+        )
+        job_id, created = submit_campaign_job(
+            store, spec, samples=args.samples, windows=args.windows,
+            unit_size=args.unit_size, epoch=args.epoch,
+        )
+    else:
+        job_id, created = submit_figure_job(
+            store, args.target, scale=args.scale, sms=args.sms,
+            seed=args.seed, unit_size=args.unit_size, epoch=args.epoch,
+        )
+    status = job_status(store, job_id)
+    if args.json:
+        print(json.dumps({"job": job_id, "created": created,
+                          "status": status}, indent=2, sort_keys=True))
+    else:
+        print(job_id)
+        print(f"serve: {'planned' if created else 'already planned'} "
+              f"{args.kind} job {job_id} "
+              f"({status['counts']['total']} units) in {store.root}",
+              file=sys.stderr)
+    return 0
+
+
+def _serve_status(args) -> int:
+    import json
+
+    from repro.service.server import (format_status, job_status,
+                                      store_status)
+
+    store = _serve_store(args)
+    if args.job:
+        status = job_status(store, args.job)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(format_status(status))
+        return 0 if status["state"] != "unknown" else 1
+    summary = store_status(store)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"repro serve {summary['version']}  store {summary['root']}")
+        for status in summary["jobs"]:
+            print(format_status(status))
+        if not summary["jobs"]:
+            print("(no jobs)")
+    return 0
+
+
+def _serve_watch(args) -> int:
+    from repro.service.server import watch_job
+
+    store = _serve_store(args)
+    status = watch_job(store, args.job, timeout=args.timeout,
+                       interval=args.interval,
+                       emit=lambda line: print(line, file=sys.stderr))
+    print(status["state"])
+    return 0 if status["state"] == "done" else 1
+
+
+def _serve_fetch(args) -> int:
+    import json
+
+    from repro.service.jobs import finalize_job
+    from repro.service.server import job_status
+    from repro.service.store import canonical_json
+
+    store = _serve_store(args)
+    finalize_job(store, args.job)
+    merged = store.read_merged(args.job)
+    if merged is None:
+        status = job_status(store, args.job)
+        print(f"job {args.job} is not done (state: {status['state']})",
+              file=sys.stderr)
+        return 1
+    text = canonical_json(merged)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    if args.bench_out:
+        status = job_status(store, args.job)
+        seconds = status["seconds"]
+        payload = {
+            "benchmark": "serve",
+            "job": args.job,
+            "kind": status["kind"],
+            "version": status["version"],
+            "units": status["counts"]["total"],
+            "workers": len(status["workers"]),
+            "simulations": status["simulations"],
+            "seconds": seconds,
+            "units_per_s": (status["counts"]["total"] / seconds
+                            if seconds else 0.0),
+        }
+        with open(args.bench_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.bench_out}", file=sys.stderr)
+    return 0
+
+
+def _serve_start(args) -> int:
+    from repro.service.server import ServiceServer
+
+    store = _serve_store(args)
+    server = ServiceServer(store, lease_seconds=args.lease)
+    print(f"repro serve {__version__}: watching {store.root} "
+          f"(poll {args.poll}s, lease {args.lease}s)", file=sys.stderr)
+    summary = server.serve(
+        poll=args.poll, until_idle=args.until_idle,
+        max_seconds=args.max_seconds,
+        emit=lambda line: print(line, file=sys.stderr),
+    )
+    print(f"serve: polls={summary['polls']} requeued={summary['requeued']} "
+          f"orphans-completed={summary['orphans_completed']} "
+          f"finalized={summary['finalized']}", file=sys.stderr)
+    return 0
+
+
+def _serve_worker(args) -> int:
+    from repro.service.store import DEFAULT_LEASE_SECONDS  # noqa: F401
+    from repro.service.worker import ServiceWorker
+
+    store = _serve_store(args)
+    worker = ServiceWorker(store, owner=args.owner,
+                           lease_seconds=args.lease,
+                           chaos_plan=args.chaos_plan)
+    print(f"repro serve worker {worker.owner}: stealing from {store.root}",
+          file=sys.stderr)
+    summary = worker.run(max_idle=args.max_idle, once=args.once,
+                         poll=args.poll)
+    print(f"worker {summary['owner']}: units={summary['units_done']} "
+          f"failed={summary['units_failed']} "
+          f"simulations={summary['simulations']}", file=sys.stderr)
+    return 0 if summary["units_failed"] == 0 else 1
+
+
+def cmd_serve(args) -> int:
+    if args.worker:
+        return _serve_worker(args)
+    command = getattr(args, "serve_command", None)
+    if command is None:
+        return _serve_start(args)
+    return {
+        "submit": _serve_submit,
+        "status": _serve_status,
+        "watch": _serve_watch,
+        "fetch": _serve_fetch,
+        "start": _serve_start,
+    }[command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Warped-DMR (MICRO 2012) reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="show the workload registry")
@@ -727,6 +920,116 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="simulate suite workloads in N worker processes (default 1)")
+
+    # serve: the distributed campaign fabric.  --store/--cache-dir are
+    # accepted both before and after the sub-subcommand; the leaf
+    # copies default to SUPPRESS so a value parsed at either position
+    # survives into the shared namespace.
+    store_parent = argparse.ArgumentParser(add_help=False)
+    store_parent.add_argument(
+        "--store", default=argparse.SUPPRESS, metavar="DIR",
+        help="job-store directory (default <result-cache>/service)")
+    store_parent.add_argument(
+        "--cache-dir", default=argparse.SUPPRESS, metavar="DIR",
+        help="classification cache shared by all workers "
+             "(default <store>/cache)")
+
+    serve_parser = sub.add_parser(
+        "serve", parents=[store_parent],
+        help="distributed campaign fabric: submit/status/watch/fetch "
+             "jobs, run workers (--worker) or the server loop")
+    serve_parser.add_argument(
+        "--worker", action="store_true",
+        help="run a work-stealing worker loop instead of the server")
+    serve_parser.add_argument(
+        "--owner", default=None, metavar="ID",
+        help="worker identity (default host-pid-nonce)")
+    serve_parser.add_argument(
+        "--max-idle", type=float, default=5.0, metavar="SECONDS",
+        help="worker exits after this long with nothing claimable "
+             "(default 5)")
+    serve_parser.add_argument(
+        "--once", action="store_true",
+        help="worker makes a single claim attempt and exits")
+    serve_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle poll interval for workers and the server (default 0.5)")
+    serve_parser.add_argument(
+        "--lease", type=float, default=300.0, metavar="SECONDS",
+        help="claim lease before a unit is stealable (default 300)")
+    serve_parser.add_argument(
+        "--until-idle", action="store_true",
+        help="server exits once every job is finished")
+    serve_parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="SECONDS",
+        help="server exits after this long regardless")
+    serve_parser.add_argument(
+        "--chaos-plan", default=None, metavar="DIR",
+        help="fire chaos events (kill/raise markers) from this plan "
+             "directory between claim and execution (testing)")
+
+    serve_sub = serve_parser.add_subparsers(dest="serve_command")
+
+    submit_parser = serve_sub.add_parser(
+        "submit", parents=[store_parent],
+        help="plan a campaign or figure job into the store")
+    submit_parser.add_argument("kind", choices=("campaign", "figure"))
+    submit_parser.add_argument(
+        "target", help="workload name (campaign) or figure name (figure)")
+    submit_parser.add_argument("--samples", type=int, default=200,
+                               help="stratified fault samples (campaign; "
+                                    "default 200)")
+    submit_parser.add_argument("--windows", type=int, default=4,
+                               help="cycle windows per stratum (campaign; "
+                                    "default 4)")
+    submit_parser.add_argument("--scale", type=float, default=0.5)
+    submit_parser.add_argument("--sms", type=int, default=1)
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument("--unit-size", type=int, default=25,
+                               metavar="N",
+                               help="faults (or suite cells) per work "
+                                    "unit (default 25)")
+    submit_parser.add_argument("--epoch", type=int, default=0,
+                               help="bump to force a fresh job over the "
+                                    "same warm classification cache")
+    submit_parser.add_argument("--json", action="store_true",
+                               help="print the submission as JSON")
+
+    status_parser = serve_sub.add_parser(
+        "status", parents=[store_parent],
+        help="show one job's (or the whole store's) status")
+    status_parser.add_argument("job", nargs="?", default=None)
+    status_parser.add_argument("--json", action="store_true")
+
+    watch_parser = serve_sub.add_parser(
+        "watch", parents=[store_parent],
+        help="stream a job's progress until it finishes")
+    watch_parser.add_argument("job")
+    watch_parser.add_argument("--timeout", type=float, default=600.0)
+    watch_parser.add_argument("--interval", type=float, default=0.2)
+
+    fetch_parser = serve_sub.add_parser(
+        "fetch", parents=[store_parent],
+        help="fetch a finished job's merged output")
+    fetch_parser.add_argument("job")
+    fetch_parser.add_argument("--out", default=None, metavar="FILE",
+                              help="write the merged JSON here instead "
+                                   "of stdout")
+    fetch_parser.add_argument("--bench-out", default=None, metavar="FILE",
+                              help="also write a throughput artifact "
+                                   "(e.g. BENCH_service.json)")
+
+    start_parser = serve_sub.add_parser(
+        "start", parents=[store_parent],
+        help="run the janitor/observer server loop (same as bare serve)")
+    start_parser.add_argument("--poll", type=float,
+                              default=argparse.SUPPRESS)
+    start_parser.add_argument("--lease", type=float,
+                              default=argparse.SUPPRESS)
+    start_parser.add_argument("--until-idle", action="store_true",
+                              default=argparse.SUPPRESS)
+    start_parser.add_argument("--max-seconds", type=float,
+                              default=argparse.SUPPRESS)
     return parser
 
 
@@ -743,6 +1046,7 @@ def main(argv=None) -> int:
         "chaos": cmd_chaos,
         "metrics": cmd_metrics,
         "fuzz": cmd_fuzz,
+        "serve": cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -45,9 +45,19 @@ def active_thread_breakdown(result: KernelResult) -> Dict[str, float]:
     return out
 
 
+def figure1_specs(runner: SuiteRunner = None) -> List[Tuple]:
+    """The suite cells Figure 1 consumes (one baseline per workload).
+
+    The figure drivers each expose their cell list this way so the
+    service fabric can shard a figure job into work units that cover
+    exactly what the driver will later read as cache hits.
+    """
+    return [(name,) for name in all_workloads()]
+
+
 def run_figure1(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
     """Figure 1 data: workload -> bin -> fraction (baseline runs)."""
-    runner.prefetch((name,) for name in all_workloads())
+    runner.prefetch(figure1_specs(runner))
     return {
         name: active_thread_breakdown(runner.baseline(name))
         for name in all_workloads()

@@ -38,13 +38,19 @@ SAMPLED_WORKLOADS = ("scan", "matrixmul", "laplace")
 DEFAULT_SAMPLES = 60
 
 
+def figure9a_specs(runner: SuiteRunner) -> list:
+    """The suite cells Figure 9(a) consumes (3 configs x all workloads)."""
+    return [
+        (name, dmr, config)
+        for name in all_workloads()
+        for config, dmr in _sweep_configs(runner).values()
+    ]
+
+
 def run_figure9a(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
     """workload -> config label -> coverage percent (plus 'average')."""
     configs = _sweep_configs(runner)
-    runner.prefetch(
-        (name, dmr, config)
-        for name in all_workloads() for config, dmr in configs.values()
-    )
+    runner.prefetch(figure9a_specs(runner))
     data: Dict[str, Dict[str, float]] = {}
     for name in all_workloads():
         data[name] = {}

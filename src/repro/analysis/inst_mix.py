@@ -28,9 +28,14 @@ def unit_mix(result: KernelResult) -> Dict[str, float]:
     }
 
 
+def figure5_specs(runner: SuiteRunner = None) -> list:
+    """The suite cells Figure 5 consumes (one baseline per workload)."""
+    return [(name,) for name in all_workloads()]
+
+
 def run_figure5(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
     """Figure 5 data: workload -> unit -> fraction (baseline runs)."""
-    runner.prefetch((name,) for name in all_workloads())
+    runner.prefetch(figure5_specs(runner))
     return {
         name: unit_mix(runner.baseline(name))
         for name in all_workloads()

@@ -18,13 +18,18 @@ from repro.workloads import all_workloads
 REPLAYQ_SIZES: List[int] = [0, 1, 5, 10]
 
 
-def run_figure9b(runner: SuiteRunner) -> Dict[str, Dict[int, float]]:
-    """workload -> queue size -> normalized cycles (plus 'average')."""
-    runner.prefetch(
+def figure9b_specs(runner: SuiteRunner = None) -> list:
+    """The suite cells Figure 9(b) consumes (baselines + queue sweep)."""
+    return (
         [(name,) for name in all_workloads()]
         + [(name, DMRConfig.paper_default().with_replayq(size))
            for name in all_workloads() for size in REPLAYQ_SIZES]
     )
+
+
+def run_figure9b(runner: SuiteRunner) -> Dict[str, Dict[int, float]]:
+    """workload -> queue size -> normalized cycles (plus 'average')."""
+    runner.prefetch(figure9b_specs(runner))
     data: Dict[str, Dict[int, float]] = {}
     for name in all_workloads():
         base = runner.baseline(name).cycles
@@ -70,6 +75,12 @@ def _size_label(size: int) -> str:
     return "inf" if size >= UNBOUNDED_REPLAYQ else str(size)
 
 
+def figure9b_stalls_specs(runner: SuiteRunner = None) -> list:
+    """The suite cells the stall-attribution sweep consumes."""
+    return [(name, DMRConfig.paper_default().with_replayq(size))
+            for name in all_workloads() for size in STALL_SIZES]
+
+
 def run_figure9b_stalls(runner: SuiteRunner) -> Dict[str, Dict[int, Dict]]:
     """workload -> queue size -> stall-cause attribution.
 
@@ -80,10 +91,7 @@ def run_figure9b_stalls(runner: SuiteRunner) -> Dict[str, Dict[int, Dict]]:
     stalls, an unbounded queue concentrates them at the kernel-end
     flush.
     """
-    runner.prefetch(
-        [(name, DMRConfig.paper_default().with_replayq(size))
-         for name in all_workloads() for size in STALL_SIZES]
-    )
+    runner.prefetch(figure9b_stalls_specs(runner))
     data: Dict[str, Dict[int, Dict]] = {}
     for name in all_workloads():
         data[name] = {}

@@ -17,13 +17,18 @@ from repro.power.model import PowerModel
 from repro.workloads import all_workloads
 
 
-def run_figure11(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
-    """workload -> {'power': ratio, 'energy': ratio} (plus 'average')."""
-    model = PowerModel(runner.config)
-    runner.prefetch(
+def figure11_specs(runner: SuiteRunner = None) -> list:
+    """The suite cells Figure 11 consumes (baseline + DMR per workload)."""
+    return (
         [(name,) for name in all_workloads()]
         + [(name, DMRConfig.paper_default()) for name in all_workloads()]
     )
+
+
+def run_figure11(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
+    """workload -> {'power': ratio, 'energy': ratio} (plus 'average')."""
+    model = PowerModel(runner.config)
+    runner.prefetch(figure11_specs(runner))
     data: Dict[str, Dict[str, float]] = {}
     for name in all_workloads():
         baseline = model.report(runner.baseline(name))

@@ -41,9 +41,14 @@ def raw_distance_stats(result: KernelResult) -> Dict[str, float]:
     }
 
 
+def figure8b_specs(runner: SuiteRunner = None) -> list:
+    """The suite cells Figure 8(b) consumes (one baseline per workload)."""
+    return [(name,) for name in all_workloads()]
+
+
 def run_figure8b(runner: SuiteRunner) -> Dict[str, Dict[str, float]]:
     """Figure 8(b) data: workload -> RAW-distance stats (baseline)."""
-    runner.prefetch((name,) for name in all_workloads())
+    runner.prefetch(figure8b_specs(runner))
     return {
         name: raw_distance_stats(runner.baseline(name))
         for name in all_workloads()

@@ -28,6 +28,7 @@ from repro.common.config import DMRConfig, GPUConfig
 from repro.obs import MetricSnapshot, aggregate_payloads
 from repro.obs.metrics import MetricsRegistry
 from repro.resilience import Supervisor, declare_harness_metrics
+from repro.service.sharding import fanout_workers
 from repro.sim.gpu import GPU, KernelResult
 from repro.workloads import all_workloads, get_workload
 
@@ -268,8 +269,10 @@ class SuiteRunner:
             if key not in missing and self._lookup(key) is None:
                 missing[key] = spec
 
-        workers = self.jobs if parallel is None else max(1, parallel)
-        workers = min(workers, len(missing)) if missing else 0
+        workers = fanout_workers(
+            self.jobs if parallel is None else max(1, parallel),
+            len(missing),
+        )
         if workers > 1:
             order = list(missing.items())
             args = [(name, dmr, config, self.scale, self.seed,

@@ -32,9 +32,14 @@ def switching_distances(result: KernelResult) -> Dict[str, Dict[str, float]]:
     return out
 
 
+def figure8a_specs(runner: SuiteRunner = None) -> list:
+    """The suite cells Figure 8(a) consumes (one baseline per workload)."""
+    return [(name,) for name in all_workloads()]
+
+
 def run_figure8a(runner: SuiteRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Figure 8(a) data: workload -> unit -> {mean, max} run length."""
-    runner.prefetch((name,) for name in all_workloads())
+    runner.prefetch(figure8a_specs(runner))
     return {
         name: switching_distances(runner.baseline(name))
         for name in all_workloads()

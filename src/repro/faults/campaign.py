@@ -56,6 +56,7 @@ from repro.resilience.deadline import (  # noqa: F401  (re-exported API)
     cycle_budget,
     wall_budget,
 )
+from repro.service.sharding import fanout_workers, pool_chunks
 from repro.sim.gpu import GPU, KernelResult
 from repro.sim.memory import GlobalMemory
 
@@ -520,18 +521,6 @@ def _campaign_worker(args: Tuple[CampaignSpec, List[Fault], Sequence,
             for fault in faults]
 
 
-def _chunked(items: List, chunks: int) -> List[List]:
-    """Split *items* into at most *chunks* contiguous, balanced chunks."""
-    chunks = max(1, min(chunks, len(items)))
-    size, extra = divmod(len(items), chunks)
-    out, start = [], 0
-    for index in range(chunks):
-        end = start + size + (1 if index < extra else 0)
-        out.append(items[start:end])
-        start = end
-    return out
-
-
 class CampaignEngine:
     """Scaled fault-injection campaigns: parallel, cached, resumable.
 
@@ -711,18 +700,17 @@ class CampaignEngine:
             if key not in missing and self._lookup(key) is None:
                 missing[key] = fault
 
-        workers = self.jobs if parallel is None else max(1, parallel)
-        workers = min(workers, len(missing)) if missing else 0
+        workers = fanout_workers(
+            self.jobs if parallel is None else max(1, parallel),
+            len(missing),
+        )
         if missing:
             golden = self.golden_output()
             budget = self.cycle_budget()
             golden_cycles = self.golden_result().cycles
         if workers > 1:
             order = list(missing.items())
-            # ~4 chunks per worker: big enough to amortize fork/IPC,
-            # small enough that one slow (e.g. HUNG) chunk can't idle
-            # the pool tail
-            chunks = _chunked(order, workers * 4)
+            chunks = pool_chunks(order, workers)
             args = [(self.spec, [fault for _, fault in chunk], golden,
                      budget, golden_cycles) for chunk in chunks]
             for chunk, payloads in zip(

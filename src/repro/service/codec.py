@@ -1,0 +1,110 @@
+"""JSON codecs for durable job specs.
+
+The job store outlives every process that writes it, so job files
+cannot lean on pickle the way worker IPC does: a spec written by one
+submitter must be readable by any worker (and by a human debugging a
+stuck job).  These codecs round-trip the frozen config dataclasses and
+:class:`~repro.faults.campaign.CampaignSpec` through plain JSON —
+enums by name, tuples as lists — and are exact: decode(encode(x)) == x
+for every field, so a spec's cache fingerprints (and therefore every
+classification key derived from it) survive the trip unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.common.config import (
+    DMRConfig,
+    GPUConfig,
+    MappingPolicy,
+    SchedulerPolicy,
+)
+from repro.common.errors import ConfigError
+
+
+def gpu_config_to_payload(config: GPUConfig) -> dict:
+    payload = dataclasses.asdict(config)
+    payload["scheduler"] = config.scheduler.name
+    return payload
+
+
+def gpu_config_from_payload(payload: dict) -> GPUConfig:
+    data = dict(payload)
+    data["scheduler"] = SchedulerPolicy[data["scheduler"]]
+    return GPUConfig(**data)
+
+
+def dmr_config_to_payload(dmr: DMRConfig) -> dict:
+    payload = dataclasses.asdict(dmr)
+    payload["mapping"] = dmr.mapping.name
+    if dmr.protected_pcs is not None:
+        payload["protected_pcs"] = list(dmr.protected_pcs)
+    return payload
+
+
+def dmr_config_from_payload(payload: dict) -> DMRConfig:
+    data = dict(payload)
+    data["mapping"] = MappingPolicy[data["mapping"]]
+    if data.get("protected_pcs") is not None:
+        data["protected_pcs"] = tuple(data["protected_pcs"])
+    return DMRConfig(**data)
+
+
+def campaign_spec_to_payload(spec) -> dict:
+    """Durable form of a :class:`~repro.faults.campaign.CampaignSpec`."""
+    payload = dataclasses.asdict(spec)
+    payload["config"] = gpu_config_to_payload(spec.config)
+    payload["dmr"] = dmr_config_to_payload(spec.dmr)
+    return payload
+
+
+def campaign_spec_from_payload(payload: dict):
+    from repro.faults.campaign import CampaignSpec
+
+    data = dict(payload)
+    data["config"] = gpu_config_from_payload(data["config"])
+    data["dmr"] = dmr_config_from_payload(data["dmr"])
+    return CampaignSpec(**data)
+
+
+def run_spec_to_payload(spec: Tuple[str, DMRConfig, GPUConfig]) -> dict:
+    """Durable form of one suite cell ``(workload, dmr, gpu)``."""
+    name, dmr, config = spec
+    return {
+        "workload": name,
+        "dmr": dmr_config_to_payload(dmr),
+        "gpu": gpu_config_to_payload(config),
+    }
+
+
+def run_spec_from_payload(payload: dict) -> Tuple[str, DMRConfig, GPUConfig]:
+    return (
+        payload["workload"],
+        dmr_config_from_payload(payload["dmr"]),
+        gpu_config_from_payload(payload["gpu"]),
+    )
+
+
+def resolve_run_specs(specs, default_dmr: Optional[DMRConfig],
+                      default_config: GPUConfig) -> List[dict]:
+    """Normalize abbreviated suite specs into full run-spec payloads.
+
+    Accepts the same ``(name,)`` / ``(name, dmr)`` / ``(name, dmr,
+    config)`` abbreviations as :meth:`SuiteRunner.run_many`, filling in
+    the defaults the runner would.
+    """
+    resolved = []
+    for spec in specs:
+        if not spec or not isinstance(spec, (tuple, list)):
+            raise ConfigError(f"malformed suite spec {spec!r}")
+        name = spec[0]
+        dmr = spec[1] if len(spec) > 1 and spec[1] is not None else None
+        config = spec[2] if len(spec) > 2 and spec[2] is not None else None
+        resolved.append(run_spec_to_payload((
+            name,
+            dmr if dmr is not None else (default_dmr or DMRConfig.disabled()),
+            config if config is not None else default_config,
+        )))
+    return resolved

@@ -1,0 +1,374 @@
+"""Job planning, unit execution and deterministic merging.
+
+A *job* is a campaign or a figure regeneration, sharded into
+content-addressed work units:
+
+* a **campaign job** samples its fault population exactly the way
+  ``python -m repro campaign`` does (golden run → horizon → stratified
+  sample), then shards the fault list into units of ~``unit_size``
+  faults.  Each unit executes through the existing supervised
+  :class:`~repro.faults.campaign.CampaignEngine` path against the
+  store's shared classification cache, so a fault classified by *any*
+  worker is never simulated again by another.
+* a **figure job** shards a figure's suite cells — the same
+  ``(workload, dmr, gpu)`` specs its driver prefetches — into units
+  executed through :class:`~repro.analysis.runner.SuiteRunner` against
+  the same shared cache; the merge step replays the driver over a
+  fully warm cache (zero simulations) to produce the figure data.
+
+The merge is deterministic by construction: units partition the item
+list contiguously and are folded back in index order, so the merged
+runs equal the serial in-process run's, the merged snapshot equals
+``CampaignResult.metrics()`` of the serial run (snapshot merge is
+associative/commutative), and the merged JSON bytes are identical
+whether produced cold, warm, by one worker or by twenty —
+:func:`serial_merged_payload` computes the reference bytes for the
+acceptance tests and the CI smoke.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.service import codec
+from repro.service.sharding import DEFAULT_UNIT_SIZE, unit_chunks
+from repro.service.store import JobStore, unit_id_for
+
+#: coverage-interval confidence baked into merged campaign outputs
+MERGED_CONFIDENCE = 0.95
+
+
+def _result_cache(store: JobStore):
+    from repro.analysis.result_cache import ResultCache
+    return ResultCache(store.cache_dir)
+
+
+# ----------------------------------------------------------------------
+# Figure registry: (specs, run, format) per service-schedulable figure
+# ----------------------------------------------------------------------
+def figure_registry() -> Dict[str, Tuple]:
+    """Figures the service can shard: name -> (specs_fn, run_fn, format_fn).
+
+    Only cache-backed figures qualify (``fig10`` launches redundant
+    variants outside the cache and ``fig-pareto``/``fig9a-sampled``
+    are campaigns — submit those as campaign jobs instead).  Every
+    ``specs_fn(runner)`` returns exactly the cells the driver
+    prefetches, so a finished job's merge replays the driver as pure
+    cache hits.
+    """
+    from repro.analysis import (active_threads, coverage_sweep, inst_mix,
+                                overhead_sweep, power_energy, raw_distance,
+                                switching)
+    return {
+        "fig1": (active_threads.figure1_specs, active_threads.run_figure1,
+                 active_threads.format_figure1),
+        "fig5": (inst_mix.figure5_specs, inst_mix.run_figure5,
+                 inst_mix.format_figure5),
+        "fig8a": (switching.figure8a_specs, switching.run_figure8a,
+                  switching.format_figure8a),
+        "fig8b": (raw_distance.figure8b_specs, raw_distance.run_figure8b,
+                  raw_distance.format_figure8b),
+        "fig9a": (coverage_sweep.figure9a_specs, coverage_sweep.run_figure9a,
+                  coverage_sweep.format_figure9a),
+        "fig9b": (overhead_sweep.figure9b_specs, overhead_sweep.run_figure9b,
+                  overhead_sweep.format_figure9b),
+        "fig9b-stalls": (overhead_sweep.figure9b_stalls_specs,
+                         overhead_sweep.run_figure9b_stalls,
+                         overhead_sweep.format_figure9b_stalls),
+        "fig11": (power_energy.figure11_specs, power_energy.run_figure11,
+                  power_energy.format_figure11),
+    }
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def submit_campaign_job(store: JobStore, spec, samples: int,
+                        windows: int = 4,
+                        unit_size: int = DEFAULT_UNIT_SIZE,
+                        epoch: int = 0) -> Tuple[str, bool]:
+    """Plan a campaign job into the store; returns ``(job_id, created)``.
+
+    Planning performs (or cache-hits) the golden run — the horizon the
+    fault sampler stratifies over — through the store's shared cache,
+    exactly like the serial CLI path, then shards the deterministic
+    fault list into units.  The job id covers spec, sampling, sharding,
+    epoch and the code-version salt, so an identical resubmission
+    dedups onto the existing job (``created=False``); bump ``epoch``
+    to force a fresh job over the same (warm) classification cache.
+    """
+    from repro.analysis.result_cache import code_version_salt
+    from repro.faults.campaign import CampaignEngine
+    from repro.faults.models import fault_to_payload
+    from repro.faults.sampler import FaultSampler
+
+    spec_payload = codec.campaign_spec_to_payload(spec)
+    material = {
+        "kind": "campaign",
+        "spec": spec_payload,
+        "samples": int(samples),
+        "windows": int(windows),
+        "unit_size": int(unit_size),
+        "epoch": int(epoch),
+        "salt": code_version_salt(),
+    }
+    engine = CampaignEngine(spec, cache=_result_cache(store))
+    horizon = engine.golden_result().cycles
+    sampler = FaultSampler(spec.config, windows=windows)
+    faults = sampler.sample(samples, horizon, seed=spec.seed)
+    items = [fault_to_payload(fault) for fault in faults]
+    payload = {
+        "kind": "campaign",
+        "material": material,
+        "spec": spec_payload,
+        "samples": int(samples),
+        "windows": int(windows),
+        "epoch": int(epoch),
+        "horizon": horizon,
+        "submitted_unix": time.time(),
+    }
+    return store.create_job(payload, _units(material, items, unit_size))
+
+
+def submit_figure_job(store: JobStore, figure: str, scale: float = 0.5,
+                      sms: int = 2, seed: int = 0,
+                      unit_size: int = DEFAULT_UNIT_SIZE,
+                      epoch: int = 0) -> Tuple[str, bool]:
+    """Plan a figure job: one unit per ~``unit_size`` suite cells."""
+    from repro.analysis.result_cache import code_version_salt
+    from repro.analysis.runner import SuiteRunner, experiment_config
+
+    registry = figure_registry()
+    if figure not in registry:
+        raise ConfigError(
+            f"figure {figure!r} is not service-schedulable; choose from "
+            f"{sorted(registry)}"
+        )
+    specs_fn = registry[figure][0]
+    config = experiment_config(num_sms=sms)
+    # a throwaway runner carries the defaults spec enumeration needs;
+    # nothing is simulated here
+    runner = SuiteRunner(config, scale=scale, seed=seed)
+    items = codec.resolve_run_specs(specs_fn(runner), None, config)
+    material = {
+        "kind": "figure",
+        "figure": figure,
+        "config": codec.gpu_config_to_payload(config),
+        "scale": scale,
+        "seed": int(seed),
+        "unit_size": int(unit_size),
+        "epoch": int(epoch),
+        "salt": code_version_salt(),
+    }
+    payload = {
+        "kind": "figure",
+        "material": material,
+        "figure": figure,
+        "config": material["config"],
+        "scale": scale,
+        "seed": int(seed),
+        "epoch": int(epoch),
+        "submitted_unix": time.time(),
+    }
+    return store.create_job(payload, _units(material, items, unit_size))
+
+
+def _units(material: dict, items: List[dict],
+           unit_size: int) -> List[dict]:
+    from repro.service.store import job_id_for
+
+    job_id = job_id_for(material)
+    units = []
+    for index, chunk in enumerate(unit_chunks(items, unit_size)):
+        units.append({
+            "unit": unit_id_for(job_id, index, chunk),
+            "index": index,
+            "kind": material["kind"],
+            "items": chunk,
+        })
+    return units
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_unit(store: JobStore, job: dict, unit: dict,
+                 owner: str) -> Tuple[dict, dict]:
+    """Run one claimed unit; returns ``(result, telemetry)`` payloads.
+
+    The result payload is deterministic (byte-idempotent across
+    duplicate executions); telemetry carries the execution-specific
+    numbers (owner, seconds, simulations actually run).
+    """
+    started = time.perf_counter()
+    if job["kind"] == "campaign":
+        result, simulations = _execute_campaign_unit(store, job, unit)
+    elif job["kind"] == "figure":
+        result, simulations = _execute_figure_unit(store, job, unit)
+    else:
+        raise ConfigError(f"unknown job kind {job['kind']!r}")
+    telemetry = {
+        "unit": unit["unit"],
+        "owner": owner,
+        "items": len(unit["items"]),
+        "simulations": simulations,
+        "seconds": time.perf_counter() - started,
+    }
+    return result, telemetry
+
+
+def _execute_campaign_unit(store: JobStore, job: dict,
+                           unit: dict) -> Tuple[dict, int]:
+    from repro.faults.campaign import CampaignEngine
+    from repro.faults.models import fault_from_payload
+
+    spec = codec.campaign_spec_from_payload(job["spec"])
+    faults = [fault_from_payload(item) for item in unit["items"]]
+    engine = CampaignEngine(spec, cache=_result_cache(store))
+    result = engine.run(faults)
+    return (
+        {"unit": unit["unit"],
+         "runs": [run.to_payload() for run in result.runs]},
+        engine.simulations,
+    )
+
+
+def _execute_figure_unit(store: JobStore, job: dict,
+                         unit: dict) -> Tuple[dict, int]:
+    runner = _figure_runner(store, job)
+    specs = [codec.run_spec_from_payload(item) for item in unit["items"]]
+    runner.run_many(specs)
+    return {"unit": unit["unit"], "cells": len(specs)}, runner.simulations
+
+
+def _figure_runner(store: JobStore, job: dict):
+    from repro.analysis.runner import SuiteRunner
+
+    return SuiteRunner(
+        codec.gpu_config_from_payload(job["config"]),
+        scale=job["scale"], seed=job["seed"],
+        cache=_result_cache(store),
+    )
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+def campaign_merged_payload(workload: str, scheme: str, scale: float,
+                            seed: int, runs: List[dict]) -> dict:
+    """The deterministic merged form of a campaign's classified runs.
+
+    Shared by the service merge and :func:`serial_merged_payload`, so
+    "service output == serial output" is a byte comparison, not a
+    field-by-field one.  Deliberately excludes anything
+    execution-dependent (simulations, timings, worker identities).
+    """
+    from repro.faults.campaign import CampaignResult, FaultRun
+
+    result = CampaignResult(runs=[FaultRun.from_payload(p) for p in runs])
+    low, high = result.coverage_interval(MERGED_CONFIDENCE)
+    return {
+        "kind": "campaign",
+        "workload": workload,
+        "scheme": scheme,
+        "scale": scale,
+        "seed": seed,
+        "samples": result.total,
+        "runs": runs,
+        "outcomes": result.summary(),
+        "coverage": {
+            "rate": result.detection_rate,
+            "detected": result.detected_runs,
+            "harmful": result.harmful_runs,
+            "confidence": MERGED_CONFIDENCE,
+            "low": low,
+            "high": high,
+        },
+        "snapshot": result.metrics().to_payload(),
+    }
+
+
+def merge_job(store: JobStore, job_id: str) -> Optional[dict]:
+    """Fold a fully classified job's unit results into merged output.
+
+    Returns ``None`` while any unit result is still missing.  Units
+    are folded in index order (their ids sort by index), which
+    reproduces the serial item order exactly.
+    """
+    job = store.load_job(job_id)
+    if job is None:
+        return None
+    results = []
+    for entry in job["units"]:
+        payload = store.unit_result(job_id, entry["unit"])
+        if payload is None:
+            return None
+        results.append(payload)
+    if job["kind"] == "campaign":
+        runs: List[dict] = []
+        for payload in results:
+            runs.extend(payload["runs"])
+        spec = job["spec"]
+        return campaign_merged_payload(
+            spec["workload"], spec["scheme"], spec["scale"], spec["seed"],
+            runs,
+        )
+    if job["kind"] == "figure":
+        registry = figure_registry()
+        _, run_fn, format_fn = registry[job["figure"]]
+        runner = _figure_runner(store, job)
+        data = run_fn(runner)
+        return {
+            "kind": "figure",
+            "figure": job["figure"],
+            "scale": job["scale"],
+            "seed": job["seed"],
+            "data": data,
+            "table": format_fn(data),
+        }
+    raise ConfigError(f"unknown job kind {job['kind']!r}")
+
+
+def finalize_job(store: JobStore, job_id: str) -> bool:
+    """Merge *job_id* if every unit is done and no merge exists yet.
+
+    Any client may call this (workers do when idle, the server every
+    poll, ``status``/``fetch`` on demand): the merge is deterministic,
+    so concurrent finalizers write identical bytes.
+    """
+    if store.merged_path(job_id).exists():
+        return False
+    counts = store.counts(job_id)
+    if not counts["total"] or counts["done"] < counts["total"]:
+        return False
+    merged = merge_job(store, job_id)
+    if merged is None:
+        return False
+    store.write_merged(job_id, merged)
+    return True
+
+
+def serial_merged_payload(job: dict) -> dict:
+    """The serial in-process reference output for a campaign *job*.
+
+    Re-runs the whole campaign in this process with no persistent
+    cache — the byte-identity oracle for the acceptance tests and the
+    ``serve-smoke`` CI job.
+    """
+    from repro.faults.campaign import CampaignEngine
+    from repro.faults.sampler import FaultSampler
+
+    if job["kind"] != "campaign":
+        raise ConfigError("serial reference is defined for campaign jobs")
+    spec = codec.campaign_spec_from_payload(job["spec"])
+    sampler = FaultSampler(spec.config, windows=job["windows"])
+    faults = sampler.sample(job["samples"], job["horizon"], seed=spec.seed)
+    engine = CampaignEngine(spec)
+    result = engine.run(faults)
+    return campaign_merged_payload(
+        job["spec"]["workload"], job["spec"]["scheme"],
+        job["spec"]["scale"], job["spec"]["seed"],
+        [run.to_payload() for run in result.runs],
+    )

@@ -1,0 +1,199 @@
+"""Job status, progress streaming and the ``repro serve`` server loop.
+
+The fabric is brokerless — workers coordinate through the store alone —
+so the "server" is deliberately thin: a janitor/observer that sweeps
+expired claims back into the queue, finalizes finished jobs, and
+renders progress.  Everything it does is idempotent and race-free
+against any number of workers (and other servers) doing the same, so
+running one is an operational convenience, never a correctness
+requirement.
+
+:func:`job_status` is the one status oracle every surface shares — the
+CLI ``serve status``/``serve watch``, the server's progress stream and
+the tests all read the same payload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro import __version__
+from repro.service.jobs import finalize_job
+from repro.service.store import DEFAULT_LEASE_SECONDS, JobStore
+
+#: terminal job states (watchers stop on these)
+TERMINAL_STATES = ("done", "failed", "unknown")
+
+
+def job_status(store: JobStore, job_id: str) -> Dict:
+    """One job's full status payload (shared by CLI, server and tests).
+
+    ``state`` is derived, not stored: ``done`` iff the merged output
+    exists, ``failed`` iff any unit exhausted its attempts and nothing
+    is left in flight (a failed unit with live siblings still reports
+    ``running`` — they may finish and the failure may be retried by a
+    resubmission).  ``simulations``/``seconds`` aggregate the workers'
+    telemetry: the simulation count is the fleet-wide number of faulty
+    runs actually executed for this job, which a warm resubmission
+    reports as 0.
+    """
+    job = store.load_job(job_id)
+    if job is None:
+        return {"job": job_id, "state": "unknown", "version": __version__}
+    counts = store.counts(job_id)
+    merged = store.merged_path(job_id).exists()
+    if merged:
+        state = "done"
+    elif counts["failed"] and not counts["pending"] and not counts["claimed"]:
+        state = "failed"
+    elif counts["done"] or counts["claimed"]:
+        state = "running"
+    else:
+        state = "planned"
+    telemetry = store.telemetry(job_id)
+    owners = sorted({record["owner"] for record in telemetry})
+    return {
+        "job": job_id,
+        "kind": job.get("kind"),
+        "state": state,
+        "version": __version__,
+        "counts": counts,
+        "merged": merged,
+        "simulations": sum(r.get("simulations", 0) for r in telemetry),
+        "seconds": round(sum(r.get("seconds", 0.0) for r in telemetry), 6),
+        "workers": owners,
+        "workload": job.get("spec", {}).get("workload"),
+        "figure": job.get("figure"),
+    }
+
+
+def store_status(store: JobStore) -> Dict:
+    """Whole-store summary: every job's one-line status."""
+    jobs = [job_status(store, job_id) for job_id in store.list_jobs()]
+    return {
+        "version": __version__,
+        "root": str(store.root),
+        "cache": str(store.cache_dir),
+        "jobs": jobs,
+    }
+
+
+def format_status(status: Dict) -> str:
+    """Human one-liner for a :func:`job_status` payload."""
+    counts = status.get("counts")
+    if counts is None:
+        return f"{status['job']}  {status['state']}"
+    name = status.get("workload") or status.get("figure") or "?"
+    return (
+        f"{status['job']}  {status['state']:8s} {status.get('kind', '?'):8s} "
+        f"{name:12s} units {counts['done']}/{counts['total']} "
+        f"(pending {counts['pending']}, in-flight {counts['claimed']}, "
+        f"failed {counts['failed']}) simulations={status['simulations']} "
+        f"workers={len(status.get('workers', []))}"
+    )
+
+
+def watch_job(store: JobStore, job_id: str, timeout: float = 600.0,
+              interval: float = 0.2,
+              lease_seconds: float = DEFAULT_LEASE_SECONDS,
+              emit: Optional[Callable[[str], None]] = None) -> Dict:
+    """Poll *job_id* to a terminal state, streaming progress lines.
+
+    The watcher janitors while it waits (lease recovery + finalize), so
+    ``serve watch`` alone is enough to drive a job to ``done`` once
+    workers have published every unit — no server process required.
+    Returns the final status payload; on timeout, the last one seen.
+    """
+    deadline = time.monotonic() + timeout
+    last_line = None
+    while True:
+        store.requeue_expired(job_id, lease_seconds)
+        finalize_job(store, job_id)
+        status = job_status(store, job_id)
+        line = format_status(status)
+        if emit is not None and line != last_line:
+            emit(line)
+            last_line = line
+        if status["state"] in TERMINAL_STATES:
+            return status
+        if time.monotonic() >= deadline:
+            return status
+        time.sleep(interval)
+
+
+class ServiceServer:
+    """The janitor/observer loop behind ``python -m repro serve start``.
+
+    Each poll sweeps every job: expired claims are stolen back
+    (requeued, or completed when the dead worker already published),
+    and fully classified jobs are merged.  The server never executes
+    units itself — workers do — so it stays responsive no matter how
+    heavy the jobs are.
+    """
+
+    def __init__(self, store: JobStore,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS) -> None:
+        self.store = store
+        self.lease_seconds = lease_seconds
+        self.polls = 0
+        self.requeued = 0
+        self.completed = 0
+        self.finalized = 0
+
+    def poll_once(self) -> Dict:
+        """One janitor sweep; returns what changed plus live counts."""
+        self.polls += 1
+        requeued = completed = finalized = active = 0
+        for job_id in self.store.list_jobs():
+            if self.store.merged_path(job_id).exists():
+                continue
+            moved = self.store.requeue_expired(job_id, self.lease_seconds)
+            requeued += len(moved["requeued"])
+            completed += len(moved["completed"])
+            if finalize_job(self.store, job_id):
+                finalized += 1
+            else:
+                active += 1
+        self.requeued += requeued
+        self.completed += completed
+        self.finalized += finalized
+        return {"requeued": requeued, "completed": completed,
+                "finalized": finalized, "active_jobs": active}
+
+    def serve(self, poll: float = 1.0, until_idle: bool = False,
+              max_seconds: Optional[float] = None,
+              emit: Optional[Callable[[str], None]] = None) -> Dict:
+        """Run the sweep loop.
+
+        ``until_idle`` exits once no unfinished job remains (the CI
+        smoke's mode); ``max_seconds`` bounds the loop regardless.
+        Returns the server's lifetime accounting.
+        """
+        started = time.monotonic()
+        while True:
+            swept = self.poll_once()
+            if emit is not None and (swept["requeued"] or swept["completed"]
+                                     or swept["finalized"]):
+                emit(f"serve: requeued={swept['requeued']} "
+                     f"orphans-completed={swept['completed']} "
+                     f"finalized={swept['finalized']} "
+                     f"active={swept['active_jobs']}")
+            if until_idle and swept["active_jobs"] == 0:
+                break
+            if (max_seconds is not None
+                    and time.monotonic() - started >= max_seconds):
+                break
+            time.sleep(poll)
+        return {
+            "polls": self.polls,
+            "requeued": self.requeued,
+            "orphans_completed": self.completed,
+            "finalized": self.finalized,
+        }
+
+
+def submitted_jobs_report(store: JobStore,
+                          job_ids: List[str]) -> List[Dict]:
+    """Status payloads for a batch of freshly submitted jobs."""
+    return [job_status(store, job_id) for job_id in job_ids]

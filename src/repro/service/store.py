@@ -1,0 +1,450 @@
+"""The on-disk job store: durable specs, sharded units, atomic claims.
+
+The fabric has no broker process.  Workers, submitters and the status
+API all coordinate through one directory tree (by default a namespace
+under the result cache), exactly the way the chaos harness's workers
+already coordinate over plan markers — every state transition is a
+single atomic ``os.replace``, so any number of processes (or hosts
+sharing the filesystem) race safely:
+
+.. code-block:: text
+
+    <root>/
+        cache/                      classification/result cache
+                                    (content-addressed, shared by every
+                                    worker and by serial CLI runs)
+        jobs/<job_id>/
+            job.json                durable job spec + unit index
+            units/<uid>.json        pending work units
+            claims/<uid>.json@<owner>   claimed (in-flight) units
+            results/<uid>.json      published unit results
+            done/<uid>              completion markers
+            failed/<uid>.json       units that exhausted their attempts
+            attempts/<uid>-<n>      per-unit failure bookkeeping
+            merged.json             deterministic merged output
+
+**Claim protocol.**  A worker claims ``units/<uid>.json`` by renaming
+it into ``claims/`` with its owner id appended — exactly one claimant
+ever wins a unit, no matter how many race.  On success the worker
+writes ``results/<uid>.json`` (atomic temp-file + replace) and then
+renames its claim to ``done/<uid>``.  A worker that dies mid-unit
+leaves a claim whose lease (claim-file mtime, refreshed at claim time)
+expires; any other worker requeues it — or, if the result was already
+published, completes it — so no unit is ever lost.  A unit can only
+execute twice if its lease expires while the original claimant is
+still alive, and then both executions publish byte-identical results
+(classification is deterministic and content-addressed), so the race
+is harmless: *exactly-once effects* even when execution is at-least-
+once.
+
+**Exactly-once classification.**  Unit results are published *through
+the cache*: every fault classification inside a unit is also stored
+under its :func:`~repro.faults.campaign.fault_run_key` in the shared
+result cache, so a requeued unit — or a warm resubmission of a whole
+job — re-simulates nothing that any worker anywhere already computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+#: seconds a claim may go without completing before it is stealable
+DEFAULT_LEASE_SECONDS = 300.0
+
+#: attempts a unit gets before it is parked in ``failed/``
+MAX_UNIT_ATTEMPTS = 3
+
+#: separator between unit id and owner in a claim file name.  ``@`` is
+#: safe: unit ids are hex + ``u``/``-``, owners are sanitized.
+_CLAIM_SEP = "@"
+
+
+def canonical_json(payload) -> str:
+    """The store's byte currency: canonical JSON, newline-terminated.
+
+    Every comparison in the acceptance criteria ("byte-identical
+    merged JSON") is over exactly these bytes.
+    """
+    return json.dumps(payload, sort_keys=True, indent=2,
+                      separators=(",", ": ")) + "\n"
+
+
+def job_id_for(material: dict) -> str:
+    """Content address of a job: SHA-256 over its canonical material.
+
+    Two submissions of the same job (same spec, same sharding, same
+    epoch, same code version) collapse onto one job directory — idle
+    resubmission is free by construction.
+    """
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def unit_id_for(job_id: str, index: int, items) -> str:
+    """Content address of one work unit: job, position and item slice."""
+    blob = json.dumps([job_id, index, items], sort_keys=True,
+                      separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+    return f"u{index:04d}-{digest}"
+
+
+def default_store_root() -> pathlib.Path:
+    """``<result-cache dir>/service`` — the store's cache namespace."""
+    from repro.analysis.result_cache import default_cache_dir
+    return default_cache_dir() / "service"
+
+
+def _write_atomic(path: pathlib.Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: pathlib.Path) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+class JobStore:
+    """One job-store directory tree (see the module docstring).
+
+    ``root`` defaults to :func:`default_store_root`; the classification
+    cache every worker shares lives at :attr:`cache_dir` (``root/cache``
+    unless overridden), so pointing N workers at one ``--store`` wires
+    up both coordination and result sharing.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 cache_dir: Optional[os.PathLike] = None) -> None:
+        self.root = (pathlib.Path(root) if root is not None
+                     else default_store_root())
+        self.cache_dir = (pathlib.Path(cache_dir) if cache_dir is not None
+                          else self.root / "cache")
+
+    # -- layout --------------------------------------------------------
+    @property
+    def jobs_dir(self) -> pathlib.Path:
+        return self.root / "jobs"
+
+    def job_dir(self, job_id: str) -> pathlib.Path:
+        return self.jobs_dir / job_id
+
+    def _units_dir(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "units"
+
+    def _claims_dir(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "claims"
+
+    def _results_dir(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "results"
+
+    def _done_dir(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "done"
+
+    def _failed_dir(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "failed"
+
+    def _attempts_dir(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "attempts"
+
+    def _telemetry_dir(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "telemetry"
+
+    def merged_path(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "merged.json"
+
+    # -- jobs ----------------------------------------------------------
+    def create_job(self, payload: dict,
+                   units: List[dict]) -> Tuple[str, bool]:
+        """Persist a planned job; returns ``(job_id, created)``.
+
+        The job id is content-addressed over ``payload['material']``,
+        so resubmitting an identical job finds the existing directory
+        and creates nothing (``created=False``) — its units, results
+        and merged output are already there or in flight.
+        """
+        job_id = job_id_for(payload["material"])
+        job_dir = self.job_dir(job_id)
+        if (job_dir / "job.json").exists():
+            return job_id, False
+        for unit in units:
+            _write_atomic(self._units_dir(job_id) / f"{unit['unit']}.json",
+                          canonical_json(unit))
+        for sub in (self._claims_dir, self._results_dir, self._done_dir,
+                    self._failed_dir, self._attempts_dir,
+                    self._telemetry_dir):
+            sub(job_id).mkdir(parents=True, exist_ok=True)
+        payload = dict(payload)
+        payload["job_id"] = job_id
+        payload["units"] = [
+            {"unit": unit["unit"], "count": len(unit["items"])}
+            for unit in units
+        ]
+        # job.json lands last: a job directory without it is still being
+        # planned and is invisible to workers
+        _write_atomic(job_dir / "job.json", canonical_json(payload))
+        return job_id, True
+
+    def load_job(self, job_id: str) -> Optional[dict]:
+        return _read_json(self.job_dir(job_id) / "job.json")
+
+    def list_jobs(self) -> List[str]:
+        """Every fully planned job id, sorted (stable claim scan order)."""
+        if not self.jobs_dir.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in self.jobs_dir.iterdir()
+            if (entry / "job.json").is_file()
+        )
+
+    # -- units ---------------------------------------------------------
+    def pending_units(self, job_id: str) -> List[str]:
+        return self._unit_names(self._units_dir(job_id), ".json")
+
+    def done_units(self, job_id: str) -> List[str]:
+        return self._unit_names(self._done_dir(job_id), "")
+
+    def failed_units(self, job_id: str) -> List[str]:
+        return self._unit_names(self._failed_dir(job_id), ".json")
+
+    def claimed_units(self, job_id: str) -> List[Tuple[str, str]]:
+        """``(unit_id, owner)`` for every in-flight claim."""
+        out = []
+        try:
+            names = sorted(os.listdir(self._claims_dir(job_id)))
+        except OSError:
+            return []
+        for name in names:
+            if _CLAIM_SEP in name:
+                unit, owner = name.split(_CLAIM_SEP, 1)
+                out.append((unit.removesuffix(".json"), owner))
+        return out
+
+    @staticmethod
+    def _unit_names(directory: pathlib.Path, suffix: str) -> List[str]:
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return []
+        if suffix:
+            return [name.removesuffix(suffix) for name in names
+                    if name.endswith(suffix)]
+        return names
+
+    def claim_unit(self, job_id: str,
+                   owner: str) -> Optional[Tuple[dict, pathlib.Path]]:
+        """Atomically claim one pending unit for *owner*.
+
+        Scans in sorted unit order (deterministic up to claim races);
+        the rename guarantees exactly one winner per unit.  Returns the
+        unit payload and the claim path (needed to complete or fail the
+        unit), or ``None`` when nothing is pending.
+        """
+        owner = sanitize_owner(owner)
+        units_dir = self._units_dir(job_id)
+        claims_dir = self._claims_dir(job_id)
+        claims_dir.mkdir(parents=True, exist_ok=True)
+        for name in self._unit_names(units_dir, ""):
+            if not name.endswith(".json"):
+                continue
+            claim = claims_dir / f"{name}{_CLAIM_SEP}{owner}"
+            try:
+                os.replace(units_dir / name, claim)
+            except OSError:
+                continue  # another claimant won this unit
+            # the rename preserved the unit file's mtime; the lease
+            # clock starts at claim time, so refresh it (best-effort —
+            # a failure just makes the claim steal-eligible sooner)
+            try:
+                os.utime(claim)
+            except OSError:
+                pass
+            payload = _read_json(claim)
+            if payload is None:
+                # unreadable unit: park it as failed rather than letting
+                # every worker spin on it
+                self._park_failed(job_id, claim,
+                                  name.removesuffix(".json"),
+                                  "unreadable unit file")
+                continue
+            return payload, claim
+        return None
+
+    def publish_result(self, job_id: str, unit_id: str,
+                       payload: dict) -> None:
+        """Atomically publish a unit's result (idempotent by bytes)."""
+        _write_atomic(self._results_dir(job_id) / f"{unit_id}.json",
+                      canonical_json(payload))
+
+    def unit_result(self, job_id: str, unit_id: str) -> Optional[dict]:
+        return _read_json(self._results_dir(job_id) / f"{unit_id}.json")
+
+    def publish_telemetry(self, job_id: str, unit_id: str, owner: str,
+                          payload: dict) -> None:
+        """Per-execution throughput stats, kept out of the result files.
+
+        Result files must be byte-idempotent across duplicate
+        executions (see the claim protocol), so anything
+        execution-specific — owner, wall seconds, simulations actually
+        run — lands here instead, one file per (unit, owner).
+        """
+        owner = sanitize_owner(owner)
+        _write_atomic(
+            self._telemetry_dir(job_id) / f"{unit_id}{_CLAIM_SEP}{owner}.json",
+            canonical_json(payload),
+        )
+
+    def telemetry(self, job_id: str) -> List[dict]:
+        """Every published telemetry record, in sorted file order."""
+        directory = self._telemetry_dir(job_id)
+        records = []
+        for name in self._unit_names(directory, ".json"):
+            payload = _read_json(directory / f"{name}.json")
+            if payload is not None:
+                records.append(payload)
+        return records
+
+    def complete_unit(self, job_id: str, unit_id: str,
+                      claim: pathlib.Path) -> None:
+        """Mark a published unit done by renaming its claim.
+
+        If the claim vanished (a reclaimer stole it while we finished),
+        the published result still stands — whoever holds the claim now
+        will publish identical bytes and complete it.
+        """
+        done = self._done_dir(job_id)
+        done.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(claim, done / unit_id)
+        except OSError:
+            pass
+
+    def fail_unit(self, job_id: str, unit_id: str, claim: pathlib.Path,
+                  error: str) -> bool:
+        """Book one failed attempt; returns True if the unit was parked.
+
+        Under :data:`MAX_UNIT_ATTEMPTS` the unit is requeued for any
+        worker to retry; at the limit it moves to ``failed/`` with the
+        error text, and the job reports ``failed`` instead of spinning.
+        """
+        attempts_dir = self._attempts_dir(job_id)
+        attempts_dir.mkdir(parents=True, exist_ok=True)
+        attempt = 1 + sum(
+            1 for name in self._unit_names(attempts_dir, "")
+            if name.startswith(f"{unit_id}-")
+        )
+        (attempts_dir / f"{unit_id}-{attempt}").touch()
+        if attempt >= MAX_UNIT_ATTEMPTS:
+            self._park_failed(job_id, claim, unit_id, error)
+            return True
+        try:
+            os.replace(claim, self._units_dir(job_id) / f"{unit_id}.json")
+        except OSError:
+            pass
+        return False
+
+    def _park_failed(self, job_id: str, claim: pathlib.Path,
+                     unit_id: str, error: str) -> None:
+        failed_dir = self._failed_dir(job_id)
+        failed_dir.mkdir(parents=True, exist_ok=True)
+        _write_atomic(failed_dir / f"{unit_id}.json",
+                      canonical_json({"unit": unit_id, "error": error}))
+        try:
+            os.unlink(claim)
+        except OSError:
+            pass
+
+    # -- recovery ------------------------------------------------------
+    def requeue_expired(self, job_id: str,
+                        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                        now: Optional[float] = None) -> Dict[str, List[str]]:
+        """Steal expired claims: requeue unfinished, complete orphans.
+
+        A claim older than *lease_seconds* whose result was already
+        published belongs to a worker that died between publish and
+        complete — it is completed in place (no re-execution).  One
+        without a result is renamed back into ``units/`` for any worker
+        to re-claim.  Losing either race to the (still live) claimant
+        is fine: renames are atomic and results idempotent.
+        """
+        now = time.time() if now is None else now
+        moved: Dict[str, List[str]] = {"requeued": [], "completed": []}
+        claims_dir = self._claims_dir(job_id)
+        for name in self._unit_names(claims_dir, ""):
+            if _CLAIM_SEP not in name:
+                continue
+            claim = claims_dir / name
+            try:
+                age = now - claim.stat().st_mtime
+            except OSError:
+                continue  # completed or stolen meanwhile
+            if age < lease_seconds:
+                continue
+            unit_id = name.split(_CLAIM_SEP, 1)[0].removesuffix(".json")
+            if self.unit_result(job_id, unit_id) is not None:
+                self.complete_unit(job_id, unit_id, claim)
+                moved["completed"].append(unit_id)
+                continue
+            try:
+                os.replace(claim,
+                           self._units_dir(job_id) / f"{unit_id}.json")
+            except OSError:
+                continue
+            moved["requeued"].append(unit_id)
+        return moved
+
+    # -- accounting ----------------------------------------------------
+    def counts(self, job_id: str) -> Dict[str, int]:
+        job = self.load_job(job_id)
+        total = len(job["units"]) if job else 0
+        return {
+            "total": total,
+            "pending": len(self.pending_units(job_id)),
+            "claimed": len(self.claimed_units(job_id)),
+            "done": len(self.done_units(job_id)),
+            "failed": len(self.failed_units(job_id)),
+        }
+
+    def read_merged(self, job_id: str) -> Optional[dict]:
+        return _read_json(self.merged_path(job_id))
+
+    def write_merged(self, job_id: str, payload: dict) -> None:
+        """Publish the merged output (atomic; concurrent writers race
+        benignly because the merge is deterministic — identical bytes)."""
+        _write_atomic(self.merged_path(job_id), canonical_json(payload))
+
+
+def sanitize_owner(owner: str) -> str:
+    """Owner ids land in file names; keep them boring."""
+    cleaned = "".join(ch if ch.isalnum() or ch in "-._" else "-"
+                      for ch in owner)
+    if not cleaned:
+        raise ConfigError(f"unusable worker owner id {owner!r}")
+    return cleaned[:80]
+
+
+def default_owner() -> str:
+    """A unique-enough worker identity: host, pid, random nonce."""
+    import socket
+    host = socket.gethostname() or "host"
+    return sanitize_owner(f"{host}-{os.getpid()}-{os.urandom(4).hex()}")

@@ -1,0 +1,160 @@
+"""The work-stealing worker behind ``python -m repro serve --worker``.
+
+A worker owns no state beyond its identity: it scans the store's jobs
+in sorted order, claims one pending unit by atomic rename, executes it
+through the existing supervised classification path, publishes the
+result and telemetry, and marks the unit done.  Any number of workers
+(on any host sharing the store) run this loop concurrently; the claim
+protocol guarantees each unit executes under exactly one live claim,
+and the shared classification cache guarantees each *simulation* runs
+exactly once fleet-wide even when a unit is re-executed after a crash.
+
+When no unit is claimable the worker turns janitor: it steals expired
+claims (requeueing dead workers' units, completing orphaned results)
+and finalizes any job whose units are all done — so a fleet of plain
+workers converges with no server process at all.
+
+Chaos events (``kill``/``raise`` markers from
+:class:`repro.resilience.chaos.ChaosPlan`) can be pointed at a worker
+via ``chaos_plan``; a claimed ``kill`` SIGKILLs the worker *after* it
+claims a unit and *before* it publishes — the exact window the lease
+recovery exists for — which is how the crash-safety tests and the CI
+smoke exercise the protocol.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Optional
+
+from repro.service.jobs import execute_unit, finalize_job
+from repro.service.store import (DEFAULT_LEASE_SECONDS, JobStore,
+                                 default_owner)
+
+
+class ServiceWorker:
+    """One work-stealing worker loop over *store* (see module docs)."""
+
+    def __init__(self, store: JobStore, owner: Optional[str] = None,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 chaos_plan: Optional[str] = None) -> None:
+        self.store = store
+        self.owner = owner or default_owner()
+        self.lease_seconds = lease_seconds
+        self.chaos_plan = str(chaos_plan) if chaos_plan else None
+        self.units_done = 0
+        self.units_failed = 0
+        self.simulations = 0
+
+    # ------------------------------------------------------------------
+    def _fire_chaos(self) -> None:
+        """Claim at most one pending chaos event and act it out.
+
+        Fired between claim and execution — a ``kill`` here leaves the
+        claim orphaned mid-unit, the worst-case window the lease
+        recovery must cover.
+        """
+        if self.chaos_plan is None:
+            return
+        from repro.resilience.chaos import ChaosFailure, claim_event
+        kind = claim_event(self.chaos_plan, kinds=("kill", "raise"))
+        if kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "raise":
+            raise ChaosFailure("chaos: injected service-worker exception")
+
+    def run_once(self) -> Optional[dict]:
+        """Claim and execute one unit from any job; ``None`` when idle.
+
+        An idle pass still does the janitor work (lease recovery +
+        finalization), so a worker parked on a drained store finishes
+        the bookkeeping other workers' crashes left behind.
+        """
+        for job_id in self.store.list_jobs():
+            if self.store.merged_path(job_id).exists():
+                continue
+            claimed = self.store.claim_unit(job_id, self.owner)
+            if claimed is None:
+                continue
+            unit, claim = claimed
+            job = self.store.load_job(job_id)
+            if job is None:  # planned directory vanished under us
+                self.store.fail_unit(job_id, unit["unit"], claim,
+                                     "job.json unreadable")
+                continue
+            try:
+                self._fire_chaos()
+                result, telemetry = execute_unit(self.store, job, unit,
+                                                 self.owner)
+            except Exception as exc:  # noqa: BLE001 — unit-level isolation
+                self.units_failed += 1
+                self.store.fail_unit(job_id, unit["unit"], claim,
+                                     f"{type(exc).__name__}: {exc}")
+                return {"job": job_id, "unit": unit["unit"],
+                        "error": str(exc)}
+            self.store.publish_result(job_id, unit["unit"], result)
+            self.store.publish_telemetry(job_id, unit["unit"], self.owner,
+                                         telemetry)
+            self.store.complete_unit(job_id, unit["unit"], claim)
+            self.units_done += 1
+            self.simulations += telemetry["simulations"]
+            return {"job": job_id, "unit": unit["unit"],
+                    "simulations": telemetry["simulations"],
+                    "seconds": telemetry["seconds"]}
+        self._janitor()
+        return None
+
+    def _janitor(self) -> None:
+        for job_id in self.store.list_jobs():
+            self.store.requeue_expired(job_id, self.lease_seconds)
+            finalize_job(self.store, job_id)
+
+    def run(self, max_idle: Optional[float] = None, once: bool = False,
+            poll: float = 0.2) -> dict:
+        """The worker main loop.
+
+        Runs until ``max_idle`` seconds pass with nothing claimable
+        (``None`` = forever, for long-lived fleet workers), or after a
+        single claim attempt with ``once``.  Returns the worker's
+        lifetime accounting.
+        """
+        idle_since: Optional[float] = None
+        while True:
+            worked = self.run_once()
+            if once:
+                break
+            if worked is not None:
+                idle_since = None
+                continue
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if max_idle is not None and now - idle_since >= max_idle:
+                break
+            time.sleep(poll)
+        return {
+            "owner": self.owner,
+            "units_done": self.units_done,
+            "units_failed": self.units_failed,
+            "simulations": self.simulations,
+        }
+
+
+def worker_entry(store_root: str, cache_dir: Optional[str] = None,
+                 owner: Optional[str] = None,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 chaos_plan: Optional[str] = None,
+                 max_idle: Optional[float] = 5.0,
+                 poll: float = 0.2) -> dict:
+    """Module-level worker entry point (picklable for multiprocessing).
+
+    The crash-safety tests and the CI smoke spawn real OS processes
+    running exactly this function — the same loop ``python -m repro
+    serve --worker`` runs.
+    """
+    store = JobStore(store_root, cache_dir=cache_dir)
+    worker = ServiceWorker(store, owner=owner, lease_seconds=lease_seconds,
+                           chaos_plan=chaos_plan)
+    return worker.run(max_idle=max_idle, poll=poll)

@@ -1,0 +1,98 @@
+"""CLI surface of the service fabric: ``--version`` and ``serve``."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.__main__ import main
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def submit_mini_campaign(store, capsys) -> str:
+    assert main([
+        "serve", "submit", "campaign", "scan", "--store", store,
+        "--samples", "10", "--scale", "0.4", "--unit-size", "5",
+    ]) == 0
+    return capsys.readouterr().out.strip().splitlines()[0]
+
+
+class TestServeRoundtrip:
+    def test_submit_work_status_fetch(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        job_id = submit_mini_campaign(store, capsys)
+        assert len(job_id) == 16
+
+        # resubmission dedups onto the same job id
+        assert submit_mini_campaign(store, capsys) == job_id
+
+        # a single --worker invocation drains the 2-unit job
+        assert main(["serve", "--worker", "--store", store,
+                     "--max-idle", "0.5", "--poll", "0.05"]) == 0
+        capsys.readouterr()
+
+        assert main(["serve", "status", job_id, "--store", store,
+                     "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["state"] == "done"
+        assert status["version"] == __version__  # satellite: version in
+        #                                          serve status output
+        assert status["counts"]["done"] == status["counts"]["total"] == 2
+        assert status["simulations"] == 10
+
+        out_path = tmp_path / "merged.json"
+        bench_path = tmp_path / "BENCH_service.json"
+        assert main(["serve", "fetch", job_id, "--store", store,
+                     "--out", str(out_path),
+                     "--bench-out", str(bench_path)]) == 0
+        merged = json.loads(out_path.read_text())
+        assert merged["kind"] == "campaign" and len(merged["runs"]) == 10
+        bench = json.loads(bench_path.read_text())
+        assert bench["benchmark"] == "serve"
+        assert bench["simulations"] == 10 and bench["units"] == 2
+
+    def test_watch_reaches_done(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        job_id = submit_mini_campaign(store, capsys)
+        assert main(["serve", "--worker", "--store", store,
+                     "--max-idle", "0.5", "--poll", "0.05"]) == 0
+        assert main(["serve", "watch", job_id, "--store", store,
+                     "--timeout", "10", "--interval", "0.05"]) == 0
+        assert capsys.readouterr().out.strip() == "done"
+
+    def test_store_wide_status_lists_jobs(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        job_id = submit_mini_campaign(store, capsys)
+        assert main(["serve", "status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out and __version__ in out
+
+    def test_fetch_before_done_fails_cleanly(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        job_id = submit_mini_campaign(store, capsys)
+        assert main(["serve", "fetch", job_id, "--store", store]) == 1
+
+    def test_status_unknown_job(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["serve", "status", "nope", "--store", store,
+                     "--json"]) == 1
+        assert json.loads(capsys.readouterr().out)["state"] == "unknown"
+
+    def test_server_start_until_idle(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        job_id = submit_mini_campaign(store, capsys)
+        assert main(["serve", "--worker", "--store", store,
+                     "--max-idle", "0.5", "--poll", "0.05"]) == 0
+        # the janitor server loop exits once every job is finished
+        assert main(["serve", "start", "--store", store, "--until-idle",
+                     "--poll", "0.05"]) == 0
+        assert main(["serve", "status", job_id, "--store", store,
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["state"] == "done"

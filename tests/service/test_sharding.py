@@ -1,0 +1,92 @@
+"""Regression tests pinning the shared chunk-sizing heuristics.
+
+The campaign engine and suite runner used to carry private copies of
+this arithmetic; it now lives in ``repro.service.sharding`` and the
+job planner depends on the exact boundaries (unit content addresses
+cover their item slices).  These tests pin the boundaries the inline
+code produced before the consolidation.
+"""
+
+import pytest
+
+from repro.service.sharding import (CHUNKS_PER_WORKER, balanced_chunks,
+                                    fanout_workers, pool_chunks,
+                                    unit_chunks)
+
+
+def _legacy_chunked(items, chunks):
+    """The pre-fabric ``CampaignEngine._chunked`` implementation."""
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out, start = [], 0
+    for index in range(chunks):
+        end = start + size + (1 if index < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+class TestBalancedChunks:
+    @pytest.mark.parametrize("n,chunks", [
+        (1, 1), (5, 2), (7, 3), (8, 4), (40, 8), (41, 8), (100, 7),
+        (3, 10),  # more chunks than items clamps to len(items)
+    ])
+    def test_matches_legacy_campaign_chunking(self, n, chunks):
+        items = list(range(n))
+        assert balanced_chunks(items, chunks) == _legacy_chunked(items,
+                                                                 chunks)
+
+    def test_pinned_boundaries(self):
+        # the exact chunk boundaries CampaignEngine.run produced for a
+        # 10-fault miss list across 2 workers (workers * 4 = 8 chunks)
+        assert pool_chunks(list(range(10)), 2) == [
+            [0, 1], [2, 3], [4], [5], [6], [7], [8], [9],
+        ]
+
+    def test_concatenation_reproduces_items(self):
+        items = list(range(23))
+        chunks = balanced_chunks(items, 5)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_sizes_differ_by_at_most_one_larger_first(self):
+        sizes = [len(c) for c in balanced_chunks(list(range(17)), 5)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_empty_input_yields_no_chunks(self):
+        assert balanced_chunks([], 4) == []
+        assert unit_chunks([]) == []
+
+
+class TestFanoutWorkers:
+    def test_matches_legacy_inline_clamp(self):
+        # the clamp both runners applied:
+        #   workers = min(workers, len(missing)) if missing else 0
+        for requested in (1, 2, 4, 8):
+            for pending in (0, 1, 3, 8, 100):
+                legacy = (min(max(1, requested), pending) if pending
+                          else 0)
+                assert fanout_workers(requested, pending) == legacy
+
+    def test_zero_pending_means_no_pool(self):
+        assert fanout_workers(8, 0) == 0
+
+    def test_at_least_one_worker_when_work_exists(self):
+        assert fanout_workers(0, 5) == 1
+
+
+class TestUnitChunks:
+    def test_unit_size_bounds(self):
+        chunks = unit_chunks(list(range(101)), unit_size=25)
+        assert len(chunks) == 5
+        assert all(len(c) <= 25 for c in chunks)
+        assert [x for c in chunks for x in c] == list(range(101))
+
+    def test_deterministic(self):
+        items = list(range(57))
+        assert unit_chunks(items, 10) == unit_chunks(items, 10)
+
+    def test_chunks_per_worker_constant(self):
+        # pool_chunks' fan-out factor is part of the pinned contract
+        assert CHUNKS_PER_WORKER == 4
+        assert len(pool_chunks(list(range(100)), 3)) == 12

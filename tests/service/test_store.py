@@ -1,0 +1,176 @@
+"""Claim-protocol tests: exactly-once claims, recovery, no lost units.
+
+These exercise the job store with synthetic units (no simulation), so
+they can race many claimers and iterate the recovery paths quickly.
+The full-stack crash test (SIGKILL a real worker process mid-unit)
+lives in ``test_service_campaign.py``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.store import (MAX_UNIT_ATTEMPTS, JobStore,
+                                 canonical_json, job_id_for, sanitize_owner,
+                                 unit_id_for)
+
+
+def make_job(store: JobStore, n_units: int = 8) -> str:
+    material = {"kind": "campaign", "test": "claims", "n": n_units}
+    units = [
+        {"unit": unit_id_for(job_id_for(material), i, [i]),
+         "index": i, "kind": "campaign", "items": [i]}
+        for i in range(n_units)
+    ]
+    job_id, created = store.create_job(
+        {"kind": "campaign", "material": material}, units)
+    assert created
+    return job_id
+
+
+class TestJobIdentity:
+    def test_job_id_content_addressed(self):
+        material = {"kind": "campaign", "seed": 3}
+        assert job_id_for(material) == job_id_for(dict(material))
+        assert job_id_for(material) != job_id_for({**material, "seed": 4})
+
+    def test_resubmit_is_idempotent(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = make_job(store)
+        material = {"kind": "campaign", "test": "claims", "n": 8}
+        again, created = store.create_job(
+            {"kind": "campaign", "material": material}, [])
+        assert again == job_id and not created
+        # the original units are untouched by the no-op resubmission
+        assert len(store.pending_units(job_id)) == 8
+
+    def test_canonical_json_is_stable(self):
+        a = canonical_json({"b": 1, "a": [1.5, None, "x"]})
+        b = canonical_json({"a": [1.5, None, "x"], "b": 1})
+        assert a == b and a.endswith("\n")
+        assert json.loads(a) == {"a": [1.5, None, "x"], "b": 1}
+
+    def test_sanitize_owner(self):
+        assert sanitize_owner("host-1.local_9") == "host-1.local_9"
+        assert "/" not in sanitize_owner("evil/../owner")
+
+
+class TestClaimProtocol:
+    def test_exactly_once_across_racing_threads(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = make_job(store, n_units=24)
+        won = []
+        lock = threading.Lock()
+
+        def claimer(owner):
+            while True:
+                claimed = store.claim_unit(job_id, owner)
+                if claimed is None:
+                    return
+                unit, claim = claimed
+                with lock:
+                    won.append((unit["unit"], owner))
+                store.publish_result(job_id, unit["unit"],
+                                     {"unit": unit["unit"]})
+                store.complete_unit(job_id, unit["unit"], claim)
+
+        threads = [threading.Thread(target=claimer, args=(f"w{i}",))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        unit_ids = [unit for unit, _ in won]
+        assert len(unit_ids) == 24
+        assert len(set(unit_ids)) == 24  # every unit claimed exactly once
+        counts = store.counts(job_id)
+        assert counts["done"] == 24 and counts["pending"] == 0
+        assert counts["claimed"] == 0 and counts["failed"] == 0
+
+    def test_claim_returns_payload_and_marks_in_flight(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = make_job(store, n_units=2)
+        unit, claim = store.claim_unit(job_id, "w1")
+        assert unit["items"] == [unit["index"]]
+        assert claim.exists()
+        assert store.counts(job_id) == {
+            "total": 2, "pending": 1, "claimed": 1, "done": 0, "failed": 0,
+        }
+
+    def test_requeue_expired_reclaims_dead_workers_unit(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = make_job(store, n_units=1)
+        unit, _claim = store.claim_unit(job_id, "dead")
+        # lease 0: the claim is immediately stealable
+        moved = store.requeue_expired(job_id, lease_seconds=0.0)
+        assert moved == {"requeued": [unit["unit"]], "completed": []}
+        # the unit is claimable again, by anyone
+        again = store.claim_unit(job_id, "alive")
+        assert again is not None and again[0]["unit"] == unit["unit"]
+
+    def test_requeue_completes_orphaned_result(self, tmp_path):
+        # worker died between publish_result and complete_unit: the
+        # result must be adopted, never recomputed
+        store = JobStore(tmp_path)
+        job_id = make_job(store, n_units=1)
+        unit, _claim = store.claim_unit(job_id, "dead")
+        store.publish_result(job_id, unit["unit"], {"unit": unit["unit"]})
+        moved = store.requeue_expired(job_id, lease_seconds=0.0)
+        assert moved == {"requeued": [], "completed": [unit["unit"]]}
+        counts = store.counts(job_id)
+        assert counts["done"] == 1 and counts["pending"] == 0
+
+    def test_live_lease_is_not_stolen(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = make_job(store, n_units=1)
+        store.claim_unit(job_id, "alive")
+        moved = store.requeue_expired(job_id, lease_seconds=300.0)
+        assert moved == {"requeued": [], "completed": []}
+        assert store.counts(job_id)["claimed"] == 1
+
+    def test_failed_unit_requeues_then_parks(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = make_job(store, n_units=1)
+        for attempt in range(1, MAX_UNIT_ATTEMPTS + 1):
+            claimed = store.claim_unit(job_id, "flaky")
+            assert claimed is not None, f"attempt {attempt} not claimable"
+            unit, claim = claimed
+            parked = store.fail_unit(job_id, unit["unit"], claim, "boom")
+            assert parked == (attempt == MAX_UNIT_ATTEMPTS)
+        counts = store.counts(job_id)
+        assert counts["failed"] == 1 and counts["pending"] == 0
+        assert store.claim_unit(job_id, "flaky") is None
+
+    def test_result_files_are_byte_idempotent(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = make_job(store, n_units=1)
+        payload = {"unit": "u", "runs": [{"outcome": "masked"}]}
+        store.publish_result(job_id, "u0", payload)
+        first = (store._results_dir(job_id) / "u0.json").read_bytes()
+        store.publish_result(job_id, "u0", json.loads(json.dumps(payload)))
+        assert (store._results_dir(job_id) / "u0.json").read_bytes() == first
+
+    def test_telemetry_kept_out_of_results(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = make_job(store, n_units=1)
+        store.publish_telemetry(job_id, "u0", "w1",
+                                {"unit": "u0", "owner": "w1",
+                                 "simulations": 3, "seconds": 0.5})
+        records = store.telemetry(job_id)
+        assert len(records) == 1 and records[0]["simulations"] == 3
+        assert store.unit_result(job_id, "u0") is None
+
+
+class TestStoreLayout:
+    def test_jobs_without_manifest_are_invisible(self, tmp_path):
+        store = JobStore(tmp_path)
+        (store.jobs_dir / "half-planned").mkdir(parents=True)
+        assert store.list_jobs() == []
+
+    def test_cache_dir_defaults_under_root(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        assert store.cache_dir == tmp_path / "s" / "cache"
+        override = JobStore(tmp_path / "s", cache_dir=tmp_path / "shared")
+        assert override.cache_dir == tmp_path / "shared"
