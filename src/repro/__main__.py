@@ -39,7 +39,13 @@ Commands
     harness-level chaos (SIGKILL a worker, oversleep the deadline,
     raise in workers/initializers, corrupt cache entries) and verify
     the result is byte-identical to an unfaulted serial run.  Exits
-    nonzero on any lost or divergent classification.
+    nonzero on any lost or divergent classification.  ``chaos
+    --fabric`` aims the same adversary at the service fabric instead:
+    SIGKILL real worker processes, bit-flip/truncate store artifacts,
+    skew claim lease clocks, scatter torn temp files — then ``serve
+    fsck --repair`` plus a plain fleet must still converge to
+    byte-identical merged output with zero recomputation of adopted
+    results.
 ``fuzz``
     Grow, replay or minimize the differential kernel corpus: seeded
     generation of mini-ISA kernels, each admitted only after the
@@ -54,8 +60,11 @@ Commands
     on any host sharing the store directory); ``serve status`` /
     ``serve watch`` / ``serve fetch`` poll progress and retrieve the
     merged output — byte-identical to a serial in-process run no
-    matter how many workers classified the units; bare ``serve`` (or
-    ``serve start``) runs the janitor/observer server loop.
+    matter how many workers classified the units; ``serve fsck
+    [--repair]`` audits (and heals) the store — re-digesting every
+    content-addressed artifact, quarantining torn/foreign files,
+    regenerating lost units, adopting orphaned results; bare ``serve``
+    (or ``serve start``) runs the janitor/observer server loop.
 """
 
 from __future__ import annotations
@@ -502,11 +511,58 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _chaos_fabric(args) -> int:
+    import json
+
+    from repro.resilience.chaos import run_fabric_chaos
+
+    report = run_fabric_chaos(
+        workload=args.workload, samples=args.samples,
+        workers=args.workers, kills=args.kills, corrupt=args.corrupt,
+        corrupt_mode=args.corrupt_mode, skew_seconds=args.skew,
+        unit_size=args.unit_size, scale=args.scale, seed=args.seed,
+        sms=args.sms, lease_seconds=args.lease,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    counters = report.counters
+    print(f"fabric chaos      : {args.workload} samples={args.samples} "
+          f"workers={args.workers} kills={args.kills} "
+          f"corrupt={args.corrupt}({args.corrupt_mode}) "
+          f"skew={args.skew:.0f}s")
+    print(f"attacks landed    : corrupted={len(report.corrupted)} "
+          f"foreign={len(report.foreign_dropped)} "
+          f"skewed-claims={report.skewed_claims} "
+          f"kills-fired={report.kills_fired}")
+    print("repair            : " + ("  ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(report.repair_findings.items()))
+        or "(nothing to repair)"))
+    print(f"store integrity   : "
+          f"quarantined={report.quarantined} "
+          f"corrupt-results={counters.get('store_corrupt_results', 0)} "
+          f"corrupt-units={counters.get('store_corrupt_units', 0)} "
+          f"requeue-adoptions="
+          f"{counters.get('store_requeue_adoptions', 0)}")
+    print(f"fsck after drain  : "
+          f"{'clean' if report.fsck_clean else 'NOT CLEAN'}")
+    verdict = "PASS" if report.matched and report.fsck_clean else "FAIL"
+    print(f"byte-identity     : {verdict} "
+          f"(simulations={report.simulations} for {report.samples} "
+          f"samples — adopted results were never recomputed)")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report.matched and report.fsck_clean else 1
+
+
 def cmd_chaos(args) -> int:
     import json
 
     from repro.resilience.chaos import run_campaign_chaos
 
+    if args.fabric:
+        return _chaos_fabric(args)
     report = run_campaign_chaos(
         workload=args.workload, samples=args.samples,
         parallel=args.parallel, kills=args.kills, sleeps=args.sleeps,
@@ -597,8 +653,8 @@ def _serve_submit(args) -> int:
 def _serve_status(args) -> int:
     import json
 
-    from repro.service.server import (format_status, job_status,
-                                      store_status)
+    from repro.service.server import (format_status, format_workers,
+                                      job_status, store_status)
 
     store = _serve_store(args)
     if args.job:
@@ -617,6 +673,8 @@ def _serve_status(args) -> int:
             print(format_status(status))
         if not summary["jobs"]:
             print("(no jobs)")
+        for line in format_workers(summary["workers"]):
+            print(line)
     return 0
 
 
@@ -675,6 +733,33 @@ def _serve_fetch(args) -> int:
     return 0
 
 
+def _serve_fsck(args) -> int:
+    import json
+
+    from repro.service.health import format_fsck, fsck_store
+
+    store = _serve_store(args)
+    if args.job:
+        from repro.service.health import FsckReport, fsck_job
+        report = FsckReport(repair=args.repair)
+        fsck_job(store, args.job, report, repair=args.repair,
+                 lease_seconds=args.lease)
+        report.workers = store.worker_records()
+        report.counters = dict(store.registry.counters())
+    else:
+        report = fsck_store(store, repair=args.repair,
+                            lease_seconds=args.lease)
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(format_fsck(report))
+    if report.clean:
+        return 0
+    # a repaired store exits 0 (the damage was healed); an audit that
+    # found problems exits 1 so scripts can gate on it
+    return 0 if args.repair else 1
+
+
 def _serve_start(args) -> int:
     from repro.service.server import ServiceServer
 
@@ -722,6 +807,7 @@ def cmd_serve(args) -> int:
         "status": _serve_status,
         "watch": _serve_watch,
         "fetch": _serve_fetch,
+        "fsck": _serve_fsck,
         "start": _serve_start,
     }[command](args)
 
@@ -887,6 +973,24 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="PATH",
                               help="JSON report path (default "
                                    "CHAOS_report.json)")
+    chaos_parser.add_argument(
+        "--fabric", action="store_true",
+        help="attack the service fabric (job store + real worker "
+             "processes) instead of the in-process pool: store "
+             "corruption, lease clock skew, torn temp files, SIGKILLs "
+             "— then fsck --repair + a fleet must reconverge")
+    chaos_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="OS worker processes for --fabric (default 2)")
+    chaos_parser.add_argument(
+        "--skew", type=float, default=3600.0, metavar="SECONDS",
+        help="lease clock skew injected by --fabric (default 3600)")
+    chaos_parser.add_argument(
+        "--unit-size", type=int, default=8, metavar="N",
+        help="faults per work unit for --fabric (default 8)")
+    chaos_parser.add_argument(
+        "--lease", type=float, default=1.0, metavar="SECONDS",
+        help="claim lease for the --fabric fleet (default 1)")
 
     fuzz_parser = sub.add_parser(
         "fuzz", help="grow/replay/minimize the differential kernel corpus")
@@ -1018,6 +1122,23 @@ def build_parser() -> argparse.ArgumentParser:
     fetch_parser.add_argument("--bench-out", default=None, metavar="FILE",
                               help="also write a throughput artifact "
                                    "(e.g. BENCH_service.json)")
+
+    fsck_parser = serve_sub.add_parser(
+        "fsck", parents=[store_parent],
+        help="audit the store: re-digest every artifact, report "
+             "torn/foreign/orphaned files (--repair to heal)")
+    fsck_parser.add_argument("job", nargs="?", default=None,
+                             help="audit one job (default: whole store)")
+    fsck_parser.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt artifacts, requeue their units, "
+             "regenerate lost units, adopt orphaned results")
+    fsck_parser.add_argument(
+        "--lease", type=float, default=argparse.SUPPRESS,
+        help="claim lease used when completing/requeueing expired "
+             "claims during --repair (default 300)")
+    fsck_parser.add_argument("--json", action="store_true",
+                             help="print the full report as JSON")
 
     start_parser = serve_sub.add_parser(
         "start", parents=[store_parent],

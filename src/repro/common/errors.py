@@ -33,6 +33,13 @@ class DMRViolation(ReproError):
     paired with an active lane outside its SIMT cluster)."""
 
 
+class CodecError(ReproError):
+    """A payload cannot round-trip through canonical JSON (for example a
+    NaN or Infinity float, which standard JSON cannot represent — the
+    Python encoder would emit non-standard tokens that break the
+    byte-idempotence every store comparison relies on)."""
+
+
 class HarnessError(ReproError):
     """The execution harness itself failed (not the simulated kernel).
 
@@ -82,3 +89,15 @@ class PoisonedTask(HarnessError):
         super().__init__(message)
         self.index = index
         self.attempts = attempts
+
+
+class StoreDegraded(HarnessError):
+    """The job store refused new work because accepting it would risk
+    half-written state: the filesystem is low on space, or the store's
+    quarantine rate says its media can no longer be trusted.  Submitters
+    get this *before* anything is written — a refused job leaves no
+    partial directory behind.  ``reason`` carries the tripped threshold."""
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason

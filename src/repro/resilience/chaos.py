@@ -300,3 +300,267 @@ def run_campaign_chaos(workload: str = "scan", samples: int = 200,
     finally:
         if cleanup is not None:
             cleanup.cleanup()
+
+
+# ----------------------------------------------------------------------
+# Fabric chaos: attacks on the service store itself
+# ----------------------------------------------------------------------
+def _mangle_file(path: pathlib.Path, mode: str) -> None:
+    """Corrupt one store artifact in place.
+
+    ``truncate`` halves the file (a writer that died without atomic
+    replace — or at ENOSPC); ``bitflip`` flips a bit in the *first*
+    byte, which reliably breaks JSON framing (``{`` stops being ``{``)
+    — the deterministic stand-in for media corruption the store is
+    contractually required to catch.
+    """
+    data = path.read_bytes()
+    if mode == "truncate":
+        path.write_bytes(data[: max(1, len(data) // 2)])
+    else:
+        flipped = bytearray(data) or bytearray(b"\x00")
+        flipped[0] ^= 0x10
+        path.write_bytes(bytes(flipped))
+
+
+def corrupt_store_files(store, job_id: str, *, results: int = 1,
+                        units: int = 1, mode: str = "bitflip",
+                        seed: int = 0) -> List[str]:
+    """Corrupt published results and pending units of a live job.
+
+    Victims are drawn deterministically (sorted order + injected RNG)
+    so scenarios reproduce.  Returns the relative paths attacked.
+    Corrupting a *done* unit's result is the nastiest case: the job
+    looks complete, but the merge must now quarantine the file, reopen
+    the unit and have the fleet republish it from the cache.
+    """
+    if mode not in ("truncate", "bitflip"):
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    rng = random.Random(seed)
+    attacked: List[str] = []
+    result_paths = sorted((store._results_dir(job_id)).glob("*.json"))
+    for path in rng.sample(result_paths, min(results, len(result_paths))):
+        _mangle_file(path, mode)
+        attacked.append(f"results/{path.name}")
+    unit_paths = sorted((store._units_dir(job_id)).glob("*.json"))
+    for path in rng.sample(unit_paths, min(units, len(unit_paths))):
+        _mangle_file(path, mode)
+        attacked.append(f"units/{path.name}")
+    return attacked
+
+
+def skew_claim_clocks(store, job_id: str,
+                      skew_seconds: float = 3600.0) -> int:
+    """Set every claim's lease clock *skew_seconds* into the past.
+
+    Models a host whose clock jumped (or an NFS server stamping
+    mtimes from another era): every in-flight lease instantly looks
+    expired, so reclaimers race the still-live claimants — exactly the
+    window the requeue-adoption fix covers.  Returns claims skewed.
+    """
+    skewed = 0
+    claims_dir = store._claims_dir(job_id)
+    try:
+        names = sorted(os.listdir(claims_dir))
+    except OSError:
+        return 0
+    stamp = time.time() - skew_seconds
+    for name in names:
+        try:
+            os.utime(claims_dir / name, (stamp, stamp))
+            skewed += 1
+        except OSError:
+            continue
+    return skewed
+
+
+def scatter_foreign_files(store, job_id: str) -> List[str]:
+    """Drop the debris a dying writer leaves: ``.tmp`` files and junk.
+
+    A writer killed between ``mkstemp`` and ``os.replace`` (SIGKILL,
+    ENOSPC) leaves an orphan temp file; a confused operator leaves a
+    stray note.  None of it may ever be claimed, merged or mistaken
+    for a unit — fsck must quarantine all of it.
+    """
+    dropped = []
+    targets = (
+        (store._units_dir(job_id) / "tmpchaosq1.tmp", b"{\"half\": "),
+        (store._results_dir(job_id) / "tmpchaosq2.tmp", b"garbage"),
+        (store.job_dir(job_id) / "NOTES.txt", b"operator was here\n"),
+    )
+    for path, blob in targets:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(blob)
+            dropped.append(path.name)
+        except OSError:
+            continue
+    return dropped
+
+
+@dataclass
+class FabricChaosReport:
+    """Outcome of one fabric chaos scenario (``repro chaos --fabric``)."""
+
+    matched: bool
+    fsck_clean: bool
+    job_id: str
+    samples: int
+    simulations: int
+    kills_fired: int
+    corrupted: List[str]
+    foreign_dropped: List[str]
+    skewed_claims: int
+    repair_findings: Dict[str, int]
+    quarantined: int
+    worker_exits: List[Optional[int]]
+    counters: Dict[str, int]
+
+    def to_payload(self) -> dict:
+        return {
+            "matched": self.matched,
+            "fsck_clean": self.fsck_clean,
+            "job_id": self.job_id,
+            "samples": self.samples,
+            "simulations": self.simulations,
+            "kills_fired": self.kills_fired,
+            "corrupted": self.corrupted,
+            "foreign_dropped": self.foreign_dropped,
+            "skewed_claims": self.skewed_claims,
+            "repair_findings": self.repair_findings,
+            "quarantined": self.quarantined,
+            "worker_exits": self.worker_exits,
+            "counters": self.counters,
+        }
+
+
+def run_fabric_chaos(workload: str = "scan", samples: int = 120,
+                     workers: int = 2, *, kills: int = 1,
+                     corrupt: int = 2, corrupt_mode: str = "bitflip",
+                     skew_seconds: float = 3600.0,
+                     unit_size: int = 8, scale: float = 0.4,
+                     seed: int = 0, sms: int = 1,
+                     lease_seconds: float = 1.0,
+                     max_idle: float = 2.0,
+                     work_dir: Optional[os.PathLike] = None,
+                     ) -> FabricChaosReport:
+    """The fabric acceptance scenario: chaos against the job store.
+
+    Phases:
+
+    1. submit a campaign job into a fresh store and let a single
+       in-process worker complete a couple of units (so there are
+       published results worth attacking);
+    2. attack the store: bit-flip/truncate published results and
+       pending units, abandon a claim and skew every claim's lease
+       clock an hour into the past, scatter torn ``.tmp`` files and
+       foreign junk (the disk-full writer's debris);
+    3. run ``serve fsck --repair`` over the wreckage;
+    4. unleash a fleet of real OS worker processes with ``kills``
+       SIGKILL events pending, then drain the remainder in-process;
+    5. audit again — fsck must now report **clean** — and compare
+       ``merged.json`` byte-for-byte against the serial in-process
+       oracle.
+
+    ``matched`` requires byte-identity *and* fleet-wide simulations ==
+    ``samples``: every corrupted result was re-published from the
+    shared classification cache (adoption, not recomputation).
+    """
+    import multiprocessing
+
+    from repro.analysis.runner import experiment_config
+    from repro.common.config import DMRConfig
+    from repro.faults.campaign import CampaignSpec
+    from repro.service.health import fsck_store
+    from repro.service.jobs import (serial_merged_payload,
+                                    submit_campaign_job)
+    from repro.service.server import job_status, watch_job
+    from repro.service.store import JobStore, canonical_json
+    from repro.service.worker import ServiceWorker, worker_entry
+
+    cleanup = None
+    if work_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-chaos-fabric-")
+        work_dir = cleanup.name
+    work = pathlib.Path(work_dir)
+
+    try:
+        # -- phase 1: submit, partially execute -------------------------
+        store = JobStore(work / "store")
+        spec = CampaignSpec(
+            workload=workload, config=experiment_config(num_sms=sms),
+            dmr=DMRConfig.paper_default(), scale=scale, seed=seed,
+        )
+        job_id, _ = submit_campaign_job(store, spec, samples=samples,
+                                        unit_size=unit_size)
+        opener = ServiceWorker(store, owner="chaos-opener")
+        for _ in range(2):
+            opener.run_once()
+
+        # -- phase 2: attack the store ----------------------------------
+        zombie = store.claim_unit(job_id, "chaos-zombie")  # abandoned
+        corrupted = corrupt_store_files(
+            store, job_id, results=corrupt, units=max(1, corrupt - 1),
+            mode=corrupt_mode, seed=seed)
+        skewed = skew_claim_clocks(store, job_id, skew_seconds)
+        foreign = scatter_foreign_files(store, job_id)
+        del zombie
+
+        # -- phase 3: repair --------------------------------------------
+        repair = fsck_store(store, repair=True,
+                            lease_seconds=lease_seconds)
+
+        # -- phase 4: chaos fleet, then drain ---------------------------
+        plan = ChaosPlan(work / "plan", kills=kills)
+        procs = [
+            multiprocessing.Process(
+                target=worker_entry, args=(str(store.root),),
+                kwargs={"owner": f"chaos-proc-{i}",
+                        "lease_seconds": lease_seconds,
+                        "chaos_plan": str(work / "plan"),
+                        "max_idle": max_idle, "poll": 0.05},
+            )
+            for i in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=600)
+        exits = [proc.exitcode for proc in procs]
+
+        sweeper = ServiceWorker(store, owner="chaos-sweeper",
+                                lease_seconds=0.0)
+        while True:
+            if sweeper.run_once() is None:
+                counts = store.counts(job_id)
+                if not counts["pending"] and not counts["claimed"]:
+                    break
+        watch_job(store, job_id, timeout=30.0, interval=0.05)
+
+        # -- phase 5: audit + oracle ------------------------------------
+        audit = fsck_store(store, repair=False)
+        status = job_status(store, job_id)
+        merged = store.read_merged(job_id)
+        merged_bytes = canonical_json(merged) if merged else ""
+        serial_bytes = canonical_json(
+            serial_merged_payload(store.load_job(job_id)))
+        matched = (merged_bytes == serial_bytes
+                   and status["simulations"] == samples)
+        return FabricChaosReport(
+            matched=matched,
+            fsck_clean=audit.clean,
+            job_id=job_id,
+            samples=samples,
+            simulations=status["simulations"],
+            kills_fired=plan.fired(),
+            corrupted=corrupted,
+            foreign_dropped=foreign,
+            skewed_claims=skewed,
+            repair_findings=repair.by_kind(),
+            quarantined=len(store.quarantined_files(job_id)),
+            worker_exits=exits,
+            counters=dict(store.registry.counters()),
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()

@@ -24,6 +24,9 @@ the CLI into thin clients:
 * :mod:`repro.service.server` — job status/progress/finalization
   behind ``python -m repro serve`` (submit, status, watch, fetch,
   start).
+* :mod:`repro.service.health` — the self-healing layer: the
+  ``serve fsck [--repair]`` store auditor, crash-loop poison
+  diagnosis, and worker heartbeat health.
 
 This ``__init__`` resolves its exports lazily: the sharding helpers
 are imported by low-level modules (``repro.faults.campaign``,
@@ -51,11 +54,19 @@ _EXPORTS = {
     "merge_job": "repro.service.jobs",
     "finalize_job": "repro.service.jobs",
     "serial_merged_payload": "repro.service.jobs",
+    "replan_unit_payloads": "repro.service.jobs",
     "ServiceWorker": "repro.service.worker",
     "ServiceServer": "repro.service.server",
     "job_status": "repro.service.server",
     "store_status": "repro.service.server",
     "watch_job": "repro.service.server",
+    "FsckReport": "repro.service.health",
+    "fsck_store": "repro.service.health",
+    "format_fsck": "repro.service.health",
+    "diagnose_poison": "repro.service.health",
+    "update_poison_verdicts": "repro.service.health",
+    "regenerate_lost_units": "repro.service.health",
+    "worker_health": "repro.service.health",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -13,6 +13,7 @@ classification key derived from it) survive the trip unchanged.
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import List, Optional, Tuple
 
 from repro.common.config import (
@@ -21,7 +22,43 @@ from repro.common.config import (
     MappingPolicy,
     SchedulerPolicy,
 )
-from repro.common.errors import ConfigError
+from repro.common.errors import CodecError, ConfigError
+
+
+# ----------------------------------------------------------------------
+# Canonical JSON: the store's byte currency
+# ----------------------------------------------------------------------
+def encode_canonical(payload) -> str:
+    """Encode *payload* as canonical JSON, newline-terminated.
+
+    Every comparison in the fabric's acceptance criteria
+    ("byte-identical merged JSON") is over exactly these bytes, so the
+    encoding must be a *bijection* on what it accepts: sorted keys,
+    fixed separators, and — critically — no NaN/Infinity.  Python's
+    encoder would happily emit ``NaN``/``Infinity`` tokens, which are
+    not JSON: a reader parses them back to floats that re-encode to the
+    same tokens, but any standards-conforming tool (or a future
+    parser) rejects the file, and ``NaN != NaN`` breaks every payload
+    equality the merge relies on.  Such payloads are a bug upstream;
+    refuse them loudly instead of writing them durably.
+    """
+    try:
+        text = json.dumps(payload, sort_keys=True, indent=2,
+                          separators=(",", ": "), allow_nan=False)
+    except ValueError as error:
+        raise CodecError(
+            f"payload is not canonically JSON-encodable: {error}"
+        ) from error
+    return text + "\n"
+
+
+def decode_canonical(text: str):
+    """Decode canonical JSON; raises :class:`CodecError` on torn input."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CodecError(f"torn or invalid canonical JSON: {error}") \
+            from error
 
 
 def gpu_config_to_payload(config: GPUConfig) -> dict:

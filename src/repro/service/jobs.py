@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.common.errors import ConfigError
 from repro.service import codec
 from repro.service.sharding import DEFAULT_UNIT_SIZE, unit_chunks
-from repro.service.store import JobStore, unit_id_for
+from repro.service.store import JobStore, job_id_for, unit_id_for
 
 #: coverage-interval confidence baked into merged campaign outputs
 MERGED_CONFIDENCE = 0.95
@@ -114,6 +114,10 @@ def submit_campaign_job(store: JobStore, spec, samples: int,
         "epoch": int(epoch),
         "salt": code_version_salt(),
     }
+    if not (store.job_dir(job_id_for(material)) / "job.json").exists():
+        # refuse a degraded store *before* the golden run, not after —
+        # a refused submit costs nothing and writes nothing
+        store.check_admission()
     engine = CampaignEngine(spec, cache=_result_cache(store))
     horizon = engine.golden_result().cycles
     sampler = FaultSampler(spec.config, windows=windows)
@@ -189,6 +193,41 @@ def _units(material: dict, items: List[dict],
             "items": chunk,
         })
     return units
+
+
+def replan_unit_payloads(job: dict) -> List[dict]:
+    """Rebuild a job's planned unit payloads from its manifest alone.
+
+    Unit payloads are pure functions of the durable job material — a
+    campaign's fault list re-samples from the *stored* horizon (so no
+    golden run, no simulation), a figure's suite cells re-resolve from
+    the registry — and unit ids are content addresses over the result,
+    so the rebuilt payloads are byte-identical to the planner's.  This
+    is what lets :mod:`repro.service.health` regenerate a lost or
+    corrupt unit file instead of declaring the job dead.
+    """
+    material = job["material"]
+    if job["kind"] == "campaign":
+        from repro.faults.campaign import CampaignEngine  # noqa: F401
+        from repro.faults.models import fault_to_payload
+        from repro.faults.sampler import FaultSampler
+
+        spec = codec.campaign_spec_from_payload(job["spec"])
+        sampler = FaultSampler(spec.config, windows=job["windows"])
+        faults = sampler.sample(job["samples"], job["horizon"],
+                                seed=spec.seed)
+        items = [fault_to_payload(fault) for fault in faults]
+    elif job["kind"] == "figure":
+        from repro.analysis.runner import SuiteRunner
+
+        registry = figure_registry()
+        specs_fn = registry[job["figure"]][0]
+        config = codec.gpu_config_from_payload(job["config"])
+        runner = SuiteRunner(config, scale=job["scale"], seed=job["seed"])
+        items = codec.resolve_run_specs(specs_fn(runner), None, config)
+    else:
+        raise ConfigError(f"unknown job kind {job['kind']!r}")
+    return _units(material, items, material["unit_size"])
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +344,15 @@ def merge_job(store: JobStore, job_id: str) -> Optional[dict]:
         payload = store.unit_result(job_id, entry["unit"])
         if payload is None:
             return None
+        if not _result_shape_ok(job["kind"], payload, entry["count"]):
+            # parses and carries the right unit id, but does not cover
+            # its whole item slice (a truncated writer that still left
+            # valid JSON) — quarantine rather than merge a short read,
+            # and reopen the unit so the janitor regenerates and
+            # re-executes it (cache replay, not re-simulation)
+            store.quarantine_result(job_id, entry["unit"])
+            store.reopen_unit(job_id, entry["unit"])
+            return None
         results.append(payload)
     if job["kind"] == "campaign":
         runs: List[dict] = []
@@ -329,6 +377,16 @@ def merge_job(store: JobStore, job_id: str) -> Optional[dict]:
             "table": format_fn(data),
         }
     raise ConfigError(f"unknown job kind {job['kind']!r}")
+
+
+def _result_shape_ok(kind: str, payload: dict, count: int) -> bool:
+    """A unit result must cover exactly its manifest item count."""
+    if kind == "campaign":
+        runs = payload.get("runs")
+        return isinstance(runs, list) and len(runs) == count
+    if kind == "figure":
+        return payload.get("cells") == count
+    return True
 
 
 def finalize_job(store: JobStore, job_id: str) -> bool:

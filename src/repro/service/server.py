@@ -53,6 +53,7 @@ def job_status(store: JobStore, job_id: str) -> Dict:
         state = "planned"
     telemetry = store.telemetry(job_id)
     owners = sorted({record["owner"] for record in telemetry})
+    poison = store.read_poison(job_id)
     return {
         "job": job_id,
         "kind": job.get("kind"),
@@ -65,17 +66,33 @@ def job_status(store: JobStore, job_id: str) -> Dict:
         "workers": owners,
         "workload": job.get("spec", {}).get("workload"),
         "figure": job.get("figure"),
+        "quarantined": len(store.quarantined_files(job_id)),
+        "poisoned": [
+            {"unit": verdict.get("unit"),
+             "classification": verdict.get("classification"),
+             "attempts": verdict.get("attempts")}
+            for verdict in (poison or {}).get("units", [])
+        ],
     }
 
 
 def store_status(store: JobStore) -> Dict:
-    """Whole-store summary: every job's one-line status."""
+    """Whole-store summary: every job plus fleet health.
+
+    ``workers`` lists every heartbeat the store knows about, annotated
+    ``alive``/``stale`` — a worker that SIGKILLed mid-unit shows up
+    stale here long before its claim lease expires.  ``counters`` are
+    the store's integrity counters for *this process's* reads (each
+    process has its own registry; fsck reports the on-disk truth).
+    """
     jobs = [job_status(store, job_id) for job_id in store.list_jobs()]
     return {
         "version": __version__,
         "root": str(store.root),
         "cache": str(store.cache_dir),
         "jobs": jobs,
+        "workers": store.worker_records(),
+        "counters": dict(store.registry.counters()),
     }
 
 
@@ -85,13 +102,35 @@ def format_status(status: Dict) -> str:
     if counts is None:
         return f"{status['job']}  {status['state']}"
     name = status.get("workload") or status.get("figure") or "?"
-    return (
+    line = (
         f"{status['job']}  {status['state']:8s} {status.get('kind', '?'):8s} "
         f"{name:12s} units {counts['done']}/{counts['total']} "
         f"(pending {counts['pending']}, in-flight {counts['claimed']}, "
         f"failed {counts['failed']}) simulations={status['simulations']} "
         f"workers={len(status.get('workers', []))}"
     )
+    if status.get("quarantined"):
+        line += f" quarantined={status['quarantined']}"
+    if status.get("poisoned"):
+        kinds = ",".join(sorted({p.get("classification") or "?"
+                                 for p in status["poisoned"]}))
+        line += f" poisoned={len(status['poisoned'])}({kinds})"
+    return line
+
+
+def format_workers(records: List[Dict]) -> List[str]:
+    """Human one-liners for :meth:`JobStore.worker_records` payloads."""
+    lines = []
+    for record in records:
+        lines.append(
+            f"worker {record.get('owner', '?'):40s} "
+            f"{record.get('state', '?'):6s} "
+            f"beat {record.get('age_seconds', 0.0):7.1f}s ago  "
+            f"done={record.get('units_done', 0)} "
+            f"failed={record.get('units_failed', 0)} "
+            f"simulations={record.get('simulations', 0)}"
+        )
+    return lines
 
 
 def watch_job(store: JobStore, job_id: str, timeout: float = 600.0,
@@ -140,9 +179,12 @@ class ServiceServer:
         self.requeued = 0
         self.completed = 0
         self.finalized = 0
+        self.regenerated = 0
 
     def poll_once(self) -> Dict:
         """One janitor sweep; returns what changed plus live counts."""
+        from repro.service.health import (regenerate_lost_units,
+                                          update_poison_verdicts)
         self.polls += 1
         requeued = completed = finalized = active = 0
         for job_id in self.store.list_jobs():
@@ -151,6 +193,10 @@ class ServiceServer:
             moved = self.store.requeue_expired(job_id, self.lease_seconds)
             requeued += len(moved["requeued"])
             completed += len(moved["completed"])
+            regenerated = regenerate_lost_units(self.store, job_id)
+            self.regenerated += len(regenerated)
+            if self.store.failed_units(job_id):
+                update_poison_verdicts(self.store, job_id)
             if finalize_job(self.store, job_id):
                 finalized += 1
             else:
@@ -190,6 +236,7 @@ class ServiceServer:
             "requeued": self.requeued,
             "orphans_completed": self.completed,
             "finalized": self.finalized,
+            "regenerated": self.regenerated,
         }
 
 

@@ -10,9 +10,17 @@ and the shared classification cache guarantees each *simulation* runs
 exactly once fleet-wide even when a unit is re-executed after a crash.
 
 When no unit is claimable the worker turns janitor: it steals expired
-claims (requeueing dead workers' units, completing orphaned results)
-and finalizes any job whose units are all done — so a fleet of plain
-workers converges with no server process at all.
+claims (requeueing dead workers' units, completing orphaned results),
+re-materializes units the corruption-tolerant read paths quarantined
+(:func:`repro.service.health.regenerate_lost_units`), refreshes poison
+verdicts for parked units, and finalizes any job whose units are all
+done — so a fleet of plain workers converges with no server process at
+all, even on a store chaos has chewed on.
+
+Every pass also publishes a *heartbeat* (``workers/<owner>.json``, at
+most once per ``heartbeat_seconds``) carrying the worker's lifetime
+counters, so ``serve status`` can tell a live fleet from a dead one
+without process visibility.
 
 Chaos events (``kill``/``raise`` markers from
 :class:`repro.resilience.chaos.ChaosPlan`) can be pointed at a worker
@@ -27,11 +35,16 @@ from __future__ import annotations
 import os
 import signal
 import time
+import traceback
 from typing import Optional
 
 from repro.service.jobs import execute_unit, finalize_job
 from repro.service.store import (DEFAULT_LEASE_SECONDS, JobStore,
                                  default_owner)
+
+#: minimum seconds between heartbeat writes (one atomic file write;
+#: cheap, but not so cheap a 5 ms unit loop should pay it every pass)
+DEFAULT_HEARTBEAT_SECONDS = 1.0
 
 
 class ServiceWorker:
@@ -39,16 +52,36 @@ class ServiceWorker:
 
     def __init__(self, store: JobStore, owner: Optional[str] = None,
                  lease_seconds: float = DEFAULT_LEASE_SECONDS,
-                 chaos_plan: Optional[str] = None) -> None:
+                 chaos_plan: Optional[str] = None,
+                 heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS) -> None:
         self.store = store
         self.owner = owner or default_owner()
         self.lease_seconds = lease_seconds
         self.chaos_plan = str(chaos_plan) if chaos_plan else None
+        self.heartbeat_seconds = heartbeat_seconds
         self.units_done = 0
         self.units_failed = 0
         self.simulations = 0
+        self._last_beat = 0.0
 
     # ------------------------------------------------------------------
+    def beat(self, state: str = "working", force: bool = False) -> None:
+        """Publish this worker's heartbeat (throttled unless *force*)."""
+        now = time.monotonic()
+        if not force and now - self._last_beat < self.heartbeat_seconds:
+            return
+        self._last_beat = now
+        try:
+            self.store.beat(self.owner, {
+                "pid": os.getpid(),
+                "state_note": state,
+                "units_done": self.units_done,
+                "units_failed": self.units_failed,
+                "simulations": self.simulations,
+            })
+        except OSError:
+            pass  # advisory: a full disk must not kill the worker
+
     def _fire_chaos(self) -> None:
         """Claim at most one pending chaos event and act it out.
 
@@ -68,30 +101,39 @@ class ServiceWorker:
     def run_once(self) -> Optional[dict]:
         """Claim and execute one unit from any job; ``None`` when idle.
 
-        An idle pass still does the janitor work (lease recovery +
-        finalization), so a worker parked on a drained store finishes
-        the bookkeeping other workers' crashes left behind.
+        An idle pass still does the janitor work (lease recovery,
+        lost-unit regeneration, poison diagnosis, finalization), so a
+        worker parked on a drained store finishes the bookkeeping other
+        workers' crashes left behind.
         """
+        self.beat()
         for job_id in self.store.list_jobs():
             if self.store.merged_path(job_id).exists():
+                continue
+            job = self.store.load_job(job_id)
+            if job is None:
+                # torn manifest: nothing in this job can be trusted or
+                # executed; skip it without burning unit attempts —
+                # fsck reports it to the operator
                 continue
             claimed = self.store.claim_unit(job_id, self.owner)
             if claimed is None:
                 continue
             unit, claim = claimed
-            job = self.store.load_job(job_id)
-            if job is None:  # planned directory vanished under us
-                self.store.fail_unit(job_id, unit["unit"], claim,
-                                     "job.json unreadable")
-                continue
             try:
                 self._fire_chaos()
                 result, telemetry = execute_unit(self.store, job, unit,
                                                  self.owner)
             except Exception as exc:  # noqa: BLE001 — unit-level isolation
                 self.units_failed += 1
-                self.store.fail_unit(job_id, unit["unit"], claim,
-                                     f"{type(exc).__name__}: {exc}")
+                self.store.fail_unit(
+                    job_id, unit["unit"], claim,
+                    f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    traceback_text=traceback.format_exc(),
+                    owner=self.owner,
+                )
+                self.beat(state="failed-unit", force=True)
                 return {"job": job_id, "unit": unit["unit"],
                         "error": str(exc)}
             self.store.publish_result(job_id, unit["unit"], result)
@@ -100,6 +142,7 @@ class ServiceWorker:
             self.store.complete_unit(job_id, unit["unit"], claim)
             self.units_done += 1
             self.simulations += telemetry["simulations"]
+            self.beat()
             return {"job": job_id, "unit": unit["unit"],
                     "simulations": telemetry["simulations"],
                     "seconds": telemetry["seconds"]}
@@ -107,8 +150,17 @@ class ServiceWorker:
         return None
 
     def _janitor(self) -> None:
+        from repro.service.health import (regenerate_lost_units,
+                                          update_poison_verdicts)
         for job_id in self.store.list_jobs():
+            job = self.store.load_job(job_id)
+            if job is None:
+                continue
             self.store.requeue_expired(job_id, self.lease_seconds)
+            if not self.store.merged_path(job_id).exists():
+                regenerate_lost_units(self.store, job_id, job=job)
+            if self.store.failed_units(job_id):
+                update_poison_verdicts(self.store, job_id)
             finalize_job(self.store, job_id)
 
     def run(self, max_idle: Optional[float] = None, once: bool = False,
@@ -118,22 +170,26 @@ class ServiceWorker:
         Runs until ``max_idle`` seconds pass with nothing claimable
         (``None`` = forever, for long-lived fleet workers), or after a
         single claim attempt with ``once``.  Returns the worker's
-        lifetime accounting.
+        lifetime accounting.  A clean exit withdraws the heartbeat, so
+        only crashes leave stale worker records behind.
         """
         idle_since: Optional[float] = None
-        while True:
-            worked = self.run_once()
-            if once:
-                break
-            if worked is not None:
-                idle_since = None
-                continue
-            now = time.monotonic()
-            if idle_since is None:
-                idle_since = now
-            if max_idle is not None and now - idle_since >= max_idle:
-                break
-            time.sleep(poll)
+        try:
+            while True:
+                worked = self.run_once()
+                if once:
+                    break
+                if worked is not None:
+                    idle_since = None
+                    continue
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if max_idle is not None and now - idle_since >= max_idle:
+                    break
+                time.sleep(poll)
+        finally:
+            self.store.remove_worker_record(self.owner)
         return {
             "owner": self.owner,
             "units_done": self.units_done,

@@ -1,0 +1,62 @@
+"""Fabric chaos acceptance: the ISSUE-10 pinned scenario.
+
+One chaos-ridden 2-process fleet — SIGKILLed worker, bit-flipped and
+truncated store artifacts, clock-skewed leases, foreign writer debris —
+must still produce a ``merged.json`` byte-identical to the serial
+in-process oracle, adopt every already-published result rather than
+recompute it (fleet-wide simulations == samples), and leave a store a
+final audit-mode fsck calls clean.
+
+The scenario is the same one ``python -m repro chaos --fabric`` and the
+CI ``fabric-chaos-smoke`` job run, scaled down for test time.
+"""
+
+import pytest
+
+from repro.resilience.chaos import run_fabric_chaos
+
+SAMPLES = 24
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fabric_chaos(
+        "scan", samples=SAMPLES, workers=2, kills=1, corrupt=2,
+        corrupt_mode="bitflip", unit_size=6, scale=0.4, seed=0,
+    )
+
+
+class TestFabricChaosAcceptance:
+    def test_merged_byte_identical_to_serial_oracle(self, report):
+        assert report.matched, "chaotic fleet diverged from serial oracle"
+
+    def test_zero_recomputation_of_adopted_results(self, report):
+        # exactly-once fleet-wide: every sample simulated once despite
+        # the kill, the corruption and the requeue races
+        assert report.samples == SAMPLES
+        assert report.simulations == SAMPLES
+
+    def test_every_attack_landed(self, report):
+        assert report.kills_fired == 1
+        assert -9 in report.worker_exits  # one worker really SIGKILLed
+        assert 0 in report.worker_exits  # and one survived to exit clean
+        assert len(report.corrupted) >= 2
+        assert len(report.foreign_dropped) >= 3
+        assert report.skewed_claims >= 1
+
+    def test_repair_found_and_healed_the_damage(self, report):
+        kinds = report.repair_findings
+        assert kinds.get("torn-result", 0) >= 1
+        assert kinds.get("foreign-file", 0) >= 3
+        assert report.quarantined > 0
+        assert report.counters["store_quarantined"] > 0
+
+    def test_final_audit_fsck_is_clean(self, report):
+        assert report.fsck_clean
+
+    def test_report_payload_round_trips(self, report):
+        payload = report.to_payload()
+        assert payload["matched"] is True
+        assert payload["fsck_clean"] is True
+        assert payload["simulations"] == SAMPLES
+        assert "store_quarantined" in payload["counters"]

@@ -1,0 +1,140 @@
+"""Worker-loop health: heartbeats, the idle-pass janitor, and
+MAX_UNIT_ATTEMPTS poison parking.
+
+These cover the worker side of the self-healing fabric end-to-end: a
+lone worker on a damaged store (abandoned claims, deleted unit files,
+crash-looping units) must converge to the same terminal state a clean
+fleet would, leaving a poison verdict instead of spinning on units
+that can never succeed.
+"""
+
+import pytest
+
+from repro.analysis.runner import experiment_config
+from repro.common.config import DMRConfig
+from repro.faults.campaign import CampaignSpec
+from repro.service.jobs import submit_campaign_job
+from repro.service.server import job_status
+from repro.service.store import (MAX_UNIT_ATTEMPTS, JobStore, job_id_for,
+                                 unit_id_for)
+from repro.service.worker import ServiceWorker
+
+SAMPLES = 6
+UNIT_SIZE = 2
+
+
+def make_synthetic_job(store: JobStore, n_units: int = 1) -> str:
+    """A planned job with no spec: every execution attempt must fail."""
+    material = {"kind": "campaign", "test": "worker-health", "n": n_units}
+    units = [
+        {"unit": unit_id_for(job_id_for(material), i, [i]),
+         "index": i, "kind": "campaign", "items": [i]}
+        for i in range(n_units)
+    ]
+    job_id, created = store.create_job(
+        {"kind": "campaign", "material": material}, units)
+    assert created
+    return job_id
+
+
+def submit_mini_campaign(store: JobStore) -> str:
+    spec = CampaignSpec(
+        workload="scan", config=experiment_config(num_sms=1),
+        dmr=DMRConfig.paper_default(), scale=0.3, seed=0,
+    )
+    job_id, created = submit_campaign_job(store, spec, samples=SAMPLES,
+                                          unit_size=UNIT_SIZE)
+    assert created
+    return job_id
+
+
+class TestIdlePassJanitor:
+    def test_lone_worker_heals_abandoned_claim_and_lost_unit(
+            self, tmp_path):
+        store = JobStore(tmp_path / "store", cache_dir=tmp_path / "cache")
+        job_id = submit_mini_campaign(store)
+
+        # a worker dies holding a claim...
+        dead = store.claim_unit(job_id, "w-dead")
+        assert dead is not None
+        # ...and corruption eats one still-pending unit file entirely
+        lost = store.pending_units(job_id)[0]
+        (store._units_dir(job_id) / f"{lost}.json").unlink()
+
+        worker = ServiceWorker(store, owner="medic", lease_seconds=0.0)
+        summary = worker.run(max_idle=2.0, poll=0.05)
+
+        status = job_status(store, job_id)
+        assert status["state"] == "done"
+        assert status["counts"]["done"] == status["counts"]["total"]
+        # every sample simulated exactly once, by this worker
+        assert summary["simulations"] == SAMPLES
+        assert status["simulations"] == SAMPLES
+        assert summary["units_failed"] == 0
+
+    def test_clean_exit_withdraws_heartbeat(self, tmp_path):
+        store = JobStore(tmp_path / "store", cache_dir=tmp_path / "cache")
+        submit_mini_campaign(store)
+        worker = ServiceWorker(store, owner="transient", lease_seconds=0.0)
+
+        worker.run_once()  # first pass always beats
+        assert [r["owner"] for r in store.worker_records()] == ["transient"]
+
+        worker.run(max_idle=0.5, poll=0.05)
+        assert store.worker_records() == []
+
+    def test_worker_skips_torn_manifest_without_burning_attempts(
+            self, tmp_path):
+        store = JobStore(tmp_path / "store")
+        job_id = make_synthetic_job(store)
+        (store.job_dir(job_id) / "job.json").write_text("{ torn")
+
+        worker = ServiceWorker(store, owner="w", lease_seconds=0.0)
+        assert worker.run_once() is None
+        # the unit is still pristine: no claim, no attempt record
+        unit_id = store.pending_units(job_id)[0]
+        assert store.counts(job_id)["claimed"] == 0
+        assert store.unit_attempts(job_id, unit_id) == []
+
+
+class TestPoisonParking:
+    @pytest.fixture()
+    def parked(self, tmp_path):
+        """Run a worker against a job whose unit always crashes."""
+        store = JobStore(tmp_path / "store")
+        job_id = make_synthetic_job(store)
+        worker = ServiceWorker(store, owner="crashy", lease_seconds=0.0)
+        worker.run(max_idle=0.5, poll=0.02)
+        return store, job_id, worker
+
+    def test_unit_parks_after_max_attempts(self, parked):
+        store, job_id, worker = parked
+        failed = store.failed_units(job_id)
+        assert len(failed) == 1
+        assert worker.units_failed == MAX_UNIT_ATTEMPTS
+        attempts = store.unit_attempts(job_id, failed[0])
+        assert len(attempts) == MAX_UNIT_ATTEMPTS
+        assert all(a["error_type"] == "KeyError" for a in attempts)
+        assert all(a["owner"] == "crashy" for a in attempts)
+        assert all("Traceback" in a["traceback"] for a in attempts)
+
+    def test_janitor_writes_deterministic_poison_verdict(self, parked):
+        store, job_id, _ = parked
+        poison = store.read_poison(job_id)
+        assert poison is not None
+        (verdict,) = poison["units"]
+        assert verdict["unit"] == store.failed_units(job_id)[0]
+        assert verdict["classification"] == "deterministic"
+        assert verdict["attempts"] == MAX_UNIT_ATTEMPTS
+
+    def test_job_status_reports_failed_with_poison(self, parked):
+        store, job_id, _ = parked
+        status = job_status(store, job_id)
+        assert status["state"] == "failed"
+        assert status["counts"]["failed"] == 1
+        assert status["poisoned"][0]["classification"] == "deterministic"
+
+    def test_parked_unit_is_not_reclaimed(self, parked):
+        store, job_id, _ = parked
+        assert store.claim_unit(job_id, "fresh-worker") is None
+        assert store.pending_units(job_id) == []

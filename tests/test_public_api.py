@@ -13,7 +13,7 @@ class TestTopLevelExports:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_key_types_importable_from_top(self):
         from repro import (
